@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E1: Fig. 1 — skip graph structure and tree view.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(sizes=(16, 64, 256))
+CRITICAL_CHECKS = ['fig1_level1_split', 'heights_logarithmic']
+
+
+def test_e01_structure(run_once):
+    result = run_once(run_experiment, "E1", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E1 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E2: Fig. 2 — working set number.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=64, length=150)
+CRITICAL_CHECKS = ['fig2_final_working_set_is_5']
+
+
+def test_e02_working_set(run_once):
+    result = run_once(run_experiment, "E2", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E2 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

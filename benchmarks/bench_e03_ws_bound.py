@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E3: Fig. 3 / Theorem 1 — working set lower bound.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=48, length=120)
+CRITICAL_CHECKS = ['fig3_working_set_is_k_plus_1']
+
+
+def test_e03_ws_bound(run_once):
+    result = run_once(run_experiment, "E3", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E3 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

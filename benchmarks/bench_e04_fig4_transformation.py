@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E4: Fig. 4 — S8 to S9 transformation.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict()
+CRITICAL_CHECKS = ['merged_group_moves_to_0_subgraph', 'pair_directly_linked']
+
+
+def test_e04_fig4_transformation(run_once):
+    result = run_once(run_experiment, "E4", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E4 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E5: Lemma 1 — AMF rank accuracy.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(sizes=(64, 256, 1024), a_values=(3, 4, 8), trials=3)
+CRITICAL_CHECKS = ['lemma1_rank_bound_holds']
+
+
+def test_e05_amf_accuracy(run_once):
+    result = run_once(run_experiment, "E5", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E5 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

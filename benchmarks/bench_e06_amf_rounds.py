@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E6: Theorem 3 / Section V — AMF round complexity.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(sizes=(32, 64, 128, 256, 512), trials=2)
+CRITICAL_CHECKS = ['structural_rounds_sublinear']
+
+
+def test_e06_amf_rounds(run_once):
+    result = run_once(run_experiment, "E6", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E6 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

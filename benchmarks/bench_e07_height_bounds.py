@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E7: Lemmas 4-5 — height bounds.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=64, length=150)
+CRITICAL_CHECKS = ['lemma5_height_bound', 'lemma4_link_level_bound']
+
+
+def test_e07_height_bounds(run_once):
+    result = run_once(run_experiment, "E7", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E7 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E8: Theorem 2 — working set property.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=64, length=200)
+CRITICAL_CHECKS = ['theorem2_ratio_bounded']
+
+
+def test_e08_ws_property(run_once):
+    result = run_once(run_experiment, "E8", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E8 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

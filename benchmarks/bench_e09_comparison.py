@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E9: Theorems 4-5 — DSG vs baselines vs WS bound.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=48, length=180)
+CRITICAL_CHECKS = ['dsg_beats_static_on_skewed_traffic']
+
+
+def test_e09_comparison(run_once):
+    result = run_once(run_experiment, "E9", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E9 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

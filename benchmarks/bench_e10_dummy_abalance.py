@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E10: Section IV-F — dummy nodes and a-balance.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(n=48, length=150, a_values=(2, 4, 8))
+CRITICAL_CHECKS = ['runs_bounded_by_2a_plus_2']
+
+
+def test_e10_dummy_abalance(run_once):
+    result = run_once(run_experiment, "E10", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E10 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E11: Section III — CONGEST conformance and memory.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(sizes=(32, 64, 128))
+CRITICAL_CHECKS = ['all_messages_within_congest_budget', 'node_memory_logarithmic']
+
+
+def test_e11_congest(run_once):
+    result = run_once(run_experiment, "E11", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E11 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,20 @@
+"""Benchmark target regenerating experiment E12: Appendices C-D — distributed sum and group bookkeeping.
+
+Runs the experiment once under the benchmark timer, prints its tables (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper-style rows)
+and asserts the experiment's checks.
+"""
+
+from repro.experiments import run_experiment
+
+PARAMS = dict(sizes=(64, 256, 1024), n=48, length=120)
+CRITICAL_CHECKS = ['distributed_sum_exact']
+
+
+def test_e12_sum_groups(run_once):
+    result = run_once(run_experiment, "E12", **PARAMS)
+    print()
+    print(result.render())
+    for check in CRITICAL_CHECKS:
+        assert result.checks.get(check, False), f"E12 check failed: {check}"
+    assert result.all_passed, [name for name, ok in result.checks.items() if not ok]

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs the corresponding experiment exactly once
+per measurement (``rounds=1``) — the quantity of interest is the experiment
+outcome (the reproduced rows/series and their checks), the wall-clock time
+is reported by pytest-benchmark as a by-product.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``func`` exactly once under the benchmark timer and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

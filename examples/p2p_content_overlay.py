@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Peer-to-peer scenario: popularity-skewed lookups with peer churn.
+
+Skip graphs are a peer-to-peer overlay; this example exercises DSG the way a
+P2P content network would: lookups follow a Zipf popularity distribution
+(a few publishers receive most of the traffic), peers join and leave while
+the system runs (Section IV-G), and we compare against SplayNet — the
+self-adjusting single-BST overlay the paper cites as closest prior work.
+
+Run with::
+
+    python examples/p2p_content_overlay.py
+"""
+
+from repro import (
+    DSGConfig,
+    DynamicSkipGraph,
+    SplayNetBaseline,
+    generate_workload,
+    summarize_baseline_run,
+    summarize_dsg_run,
+)
+from repro.analysis.tables import Table
+
+
+def main() -> None:
+    peers = list(range(1, 81))
+    trace = generate_workload("zipf", peers, length=500, seed=11, exponent=1.3)
+
+    dsg = DynamicSkipGraph(keys=peers, config=DSGConfig(seed=11))
+    splaynet = SplayNetBaseline(peers)
+
+    # Serve the first half of the trace.
+    half = len(trace) // 2
+    dsg.run_sequence(trace[:half])
+    splay_run_first = splaynet.serve(trace[:half])
+
+    # Churn: ten peers leave, ten new peers join (Section IV-G).
+    leaving = [5, 15, 25, 35, 45, 55, 65, 75, 12, 22]
+    joining = list(range(200, 210))
+    for peer in leaving:
+        dsg.remove_node(peer)
+    for peer in joining:
+        dsg.add_node(peer)
+    print(f"after churn: {dsg.n} peers, height {dsg.height()}, structure valid: {dsg.graph.is_valid()}")
+
+    # Serve the second half, remapping requests that touch departed peers.
+    alive = set(dsg.graph.real_keys)
+    remapped = []
+    replacements = {old: new for old, new in zip(leaving, joining)}
+    for u, v in trace[half:]:
+        u = replacements.get(u, u)
+        v = replacements.get(v, v)
+        if u in alive and v in alive and u != v:
+            remapped.append((u, v))
+    dsg.run_sequence(remapped)
+
+    dsg_summary = summarize_dsg_run(dsg, name="DSG")
+    splay_summary = summarize_baseline_run(splay_run_first)
+
+    table = Table(
+        title="P2P lookups under Zipf popularity (with churn for DSG)",
+        columns=["overlay", "requests", "avg routing", "steady-state avg"],
+    )
+    table.add_row("DSG", dsg_summary.requests, dsg_summary.average_routing, dsg_summary.routing_tail(0.4))
+    table.add_row("SplayNet (first half, no churn)", splay_summary.requests,
+                  splay_summary.average_routing, splay_summary.routing_tail(0.4))
+    table.add_note("SplayNet has no node join/leave procedure, so it only serves the pre-churn half.")
+    print(table.render())
+
+    hot = sorted({u for u, _ in trace[:50]})[:4]
+    print("\nrouting distance between the four most popular publishers after adaptation:")
+    for i, u in enumerate(hot):
+        for v in hot[i + 1:]:
+            if u in alive and v in alive:
+                print(f"  d({u}, {v}) = {dsg.routing_distance(u, v)}")
+
+
+if __name__ == "__main__":
+    main()

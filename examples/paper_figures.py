@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Recreate the paper's worked figures in the terminal.
+
+* Fig. 1 — the 6-node skip graph and its binary-tree-of-lists view,
+* Fig. 2 — the access pattern and its working set number,
+* Fig. 4 — the S8 skip graph, the (U, V) request at t = 8 and the resulting
+  S9 topology with its merged group.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from repro import build_skip_graph_from_membership, tree_view
+from repro.core.working_set import working_set_numbers
+from repro.skipgraph.tree_view import render_tree
+from repro.workloads import fig2_access_pattern, fig4_setup
+from repro.workloads.paper_examples import FIG4_KEYS
+
+
+def figure_1() -> None:
+    print("=" * 70)
+    print("Fig. 1 — a skip graph with 6 nodes, as a binary tree of linked lists")
+    print("=" * 70)
+    graph = build_skip_graph_from_membership(
+        {"A": "00", "J": "00", "M": "01", "G": "10", "W": "10", "R": "11"}
+    )
+    print(render_tree(tree_view(graph)))
+    print()
+
+
+def figure_2() -> None:
+    print("=" * 70)
+    print("Fig. 2 — working set number of the final (u, v) request")
+    print("=" * 70)
+    pattern = fig2_access_pattern()
+    numbers = working_set_numbers(pattern, total_nodes=50)
+    for index, (request, number) in enumerate(zip(pattern, numbers), start=1):
+        marker = "  <-- working set number 5" if index == len(pattern) else ""
+        print(f"  t={index}: {request[0]} <-> {request[1]}   T = {number}{marker}")
+    print()
+
+
+def figure_4() -> None:
+    print("=" * 70)
+    print("Fig. 4 — the S8 -> S9 transformation for the (U, V) request at t=8")
+    print("=" * 70)
+    letters = {value: letter for letter, value in FIG4_KEYS.items()}
+
+    dsg = fig4_setup()
+    print("S8 (before):")
+    print(render_tree(tree_view(dsg.graph)))
+
+    result = dsg.request(FIG4_KEYS["U"], FIG4_KEYS["V"])
+    print("\nS9 (after the request):")
+    print(render_tree(tree_view(dsg.graph)))
+    print(f"\nU and V are directly linked: {dsg.are_adjacent(FIG4_KEYS['U'], FIG4_KEYS['V'])}")
+    print(f"transformation took {result.transformation_rounds} rounds over {result.levels_rebuilt} levels")
+    merged = [letters[k] for k in dsg.graph.list_of(FIG4_KEYS["U"], 1) if not dsg.graph.node(k).is_dummy]
+    print(f"merged group in the 0-subgraph at level 1: {sorted(merged)}")
+
+
+if __name__ == "__main__":
+    figure_1()
+    figure_2()
+    figure_4()

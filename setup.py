@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` needs to build a PEP 660 wheel, which
+is unavailable offline; `python setup.py develop` provides the equivalent
+editable install. Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

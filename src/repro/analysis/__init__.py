@@ -1,0 +1,32 @@
+"""Cost bookkeeping, competitive ratios and result rendering.
+
+The experiments (E1-E12) produce structured results; this subpackage turns
+them into the numbers the paper's claims are stated in:
+
+* per-sequence average / amortized cost (Equation 1),
+* the working set bound ``WS(σ)`` and competitive ratios against it
+  (Theorems 1, 4, 5),
+* summary statistics (means, percentiles, log-fit slopes for the
+  ``O(log n)`` scaling claims),
+* plain-text tables and CSV export used by the benchmark harness and the
+  CLI.
+"""
+
+from repro.analysis.costs import CostSummary, summarize_baseline_run, summarize_dsg_run
+from repro.analysis.competitive import CompetitiveReport, competitive_report
+from repro.analysis.statistics import describe, log2_fit_slope, percentile
+from repro.analysis.tables import Table, render_table, to_csv
+
+__all__ = [
+    "CompetitiveReport",
+    "CostSummary",
+    "Table",
+    "competitive_report",
+    "describe",
+    "log2_fit_slope",
+    "percentile",
+    "render_table",
+    "summarize_baseline_run",
+    "summarize_dsg_run",
+    "to_csv",
+]

@@ -1,0 +1,87 @@
+"""Cost summaries (Equation 1 of the paper).
+
+The cost of serving request ``σ_t`` is ``d_{S_t}(σ_t) + ρ(A, S_t, σ_t) + 1``
+(routing distance + transformation rounds + 1); the average cost of a
+sequence is the mean of those per-request costs.  A :class:`CostSummary`
+captures both the total/average decomposition and the routing-only view
+(what Theorem 4 bounds), for either a DSG run or a baseline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import BaselineRun
+from repro.core.dsg import DynamicSkipGraph, RequestResult
+
+__all__ = ["CostSummary", "summarize_dsg_run", "summarize_baseline_run"]
+
+
+@dataclass
+class CostSummary:
+    """Totals and averages for one algorithm over one request sequence."""
+
+    name: str
+    requests: int
+    total_routing: int
+    total_adjustment: int
+    average_routing: float
+    average_adjustment: float
+    average_cost: float
+    max_routing: int
+    routing_series: List[int]
+
+    @property
+    def total_cost(self) -> int:
+        return self.total_routing + self.total_adjustment + self.requests
+
+    def routing_tail(self, fraction: float = 0.5) -> float:
+        """Average routing cost of the last ``fraction`` of the sequence.
+
+        Self-adjusting algorithms pay a warm-up; comparisons of the steady
+        state use the tail average.
+        """
+        if not self.routing_series:
+            return 0.0
+        start = int(len(self.routing_series) * (1 - fraction))
+        tail = self.routing_series[start:]
+        return sum(tail) / len(tail) if tail else 0.0
+
+
+def summarize_dsg_run(dsg: DynamicSkipGraph, name: str = "dsg",
+                      results: Optional[Sequence[RequestResult]] = None) -> CostSummary:
+    """Summarise a served DSG request sequence."""
+    results = list(results if results is not None else dsg.results)
+    routing = [result.routing_cost for result in results]
+    adjustment = [result.transformation_rounds for result in results]
+    count = len(results)
+    return CostSummary(
+        name=name,
+        requests=count,
+        total_routing=sum(routing),
+        total_adjustment=sum(adjustment),
+        average_routing=sum(routing) / count if count else 0.0,
+        average_adjustment=sum(adjustment) / count if count else 0.0,
+        average_cost=(sum(routing) + sum(adjustment) + count) / count if count else 0.0,
+        max_routing=max(routing, default=0),
+        routing_series=routing,
+    )
+
+
+def summarize_baseline_run(run: BaselineRun) -> CostSummary:
+    """Summarise a baseline's :class:`BaselineRun`."""
+    routing = run.routing_series()
+    adjustment = [cost.adjustment for cost in run.costs]
+    count = run.requests
+    return CostSummary(
+        name=run.name,
+        requests=count,
+        total_routing=sum(routing),
+        total_adjustment=sum(adjustment),
+        average_routing=sum(routing) / count if count else 0.0,
+        average_adjustment=sum(adjustment) / count if count else 0.0,
+        average_cost=(sum(routing) + sum(adjustment) + count) / count if count else 0.0,
+        max_routing=max(routing, default=0),
+        routing_series=routing,
+    )

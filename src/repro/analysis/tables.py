@@ -1,0 +1,89 @@
+"""Plain-text tables and CSV export for experiment results.
+
+The experiment harness prints the same rows/series the paper's claims are
+about; this module owns the formatting so every experiment reports results
+uniformly (and tests can assert on the structured form rather than on
+strings).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "render_table", "to_csv"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def write_csv(self, path: Union[str, Path]) -> None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(to_csv(self))
+
+
+def render_table(table: Table) -> str:
+    """Monospace rendering with a title, header rule and aligned columns."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in table.rows]
+    headers = [str(column) for column in table.columns]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def to_csv(table: Table) -> str:
+    """CSV form of the table (title and notes are omitted)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()

@@ -1,0 +1,68 @@
+"""Common result types for baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Tuple
+
+__all__ = ["BaselineRun", "RequestCost"]
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Cost breakdown of one request under some algorithm.
+
+    ``routing`` is the number of intermediate nodes (the paper's ``d_S``),
+    ``adjustment`` the rounds spent reorganising the topology (0 for static
+    baselines), and ``total`` follows Equation 1:
+    ``routing + adjustment + 1``.
+    """
+
+    source: Key
+    destination: Key
+    routing: int
+    adjustment: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.routing + self.adjustment + 1
+
+
+@dataclass
+class BaselineRun:
+    """Aggregate outcome of serving a request sequence."""
+
+    name: str
+    costs: List[RequestCost] = field(default_factory=list)
+
+    def record(self, cost: RequestCost) -> None:
+        self.costs.append(cost)
+
+    @property
+    def requests(self) -> int:
+        return len(self.costs)
+
+    @property
+    def total_routing(self) -> int:
+        return sum(cost.routing for cost in self.costs)
+
+    @property
+    def total_adjustment(self) -> int:
+        return sum(cost.adjustment for cost in self.costs)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(cost.total for cost in self.costs)
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.requests if self.costs else 0.0
+
+    @property
+    def average_cost(self) -> float:
+        return self.total_cost / self.requests if self.costs else 0.0
+
+    def routing_series(self) -> List[int]:
+        return [cost.routing for cost in self.costs]

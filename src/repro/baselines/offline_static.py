@@ -1,0 +1,117 @@
+"""Frequency-aware *static* skip graph built offline.
+
+DSG adapts online to an unknown request sequence.  A natural yardstick is
+the best a *static* topology could do when the full sequence (equivalently,
+the pairwise communication frequencies) is known in advance: frequently
+communicating nodes should share deep linked lists so their routes are
+short.
+
+This baseline builds such a topology by recursive balanced bisection of the
+weighted communication graph: at every level, the current linked list is
+split into two equally sized sublists so that the total frequency of pairs
+separated by the split is (locally) minimised — Kernighan–Lin bisection, via
+networkx.  Balanced halves keep the height at ``ceil(log2 n) + 1``, so the
+baseline stays inside the family ``S`` of valid skip graphs.
+
+This is a heuristic optimum (the exact problem is NP-hard, being a recursive
+minimum-bisection), which is the standard choice for "offline static"
+comparators in the self-adjusting data-structure literature.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.baselines.base import BaselineRun, RequestCost
+from repro.simulation.rng import make_rng
+from repro.skipgraph.build import build_skip_graph_from_membership
+from repro.skipgraph.node import Key
+from repro.skipgraph.routing import route
+
+__all__ = ["OfflineStaticBaseline"]
+
+
+class OfflineStaticBaseline:
+    """Best-effort static skip graph for a known request distribution."""
+
+    name = "offline-static"
+
+    def __init__(
+        self,
+        keys: Iterable[Key],
+        requests: Sequence[Tuple[Key, Key]],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.keys = sorted(set(keys))
+        self._rng = rng or make_rng()
+        self._weights = Counter()
+        for u, v in requests:
+            if u != v:
+                self._weights[frozenset((u, v))] += 1
+        membership = self._build_membership()
+        self.graph = build_skip_graph_from_membership(membership)
+
+    # ------------------------------------------------------------------ build
+    def _build_membership(self) -> Dict[Key, List[int]]:
+        membership: Dict[Key, List[int]] = {key: [] for key in self.keys}
+
+        def bisect(members: List[Key]) -> None:
+            if len(members) <= 1:
+                return
+            zero_side, one_side = self._bisect_once(members)
+            for key in zero_side:
+                membership[key].append(0)
+            for key in one_side:
+                membership[key].append(1)
+            bisect(zero_side)
+            bisect(one_side)
+
+        bisect(list(self.keys))
+        return membership
+
+    def _bisect_once(self, members: List[Key]) -> Tuple[List[Key], List[Key]]:
+        """Split ``members`` into two balanced halves with a small cut."""
+        if len(members) == 2:
+            return [members[0]], [members[1]]
+        graph = nx.Graph()
+        graph.add_nodes_from(members)
+        member_set = set(members)
+        for pair, weight in self._weights.items():
+            u, v = tuple(pair)
+            if u in member_set and v in member_set:
+                graph.add_edge(u, v, weight=weight)
+        half = len(members) // 2
+        seed_partition = (set(members[:half]), set(members[half:]))
+        try:
+            zero_side, one_side = nx.algorithms.community.kernighan_lin_bisection(
+                graph,
+                partition=seed_partition,
+                weight="weight",
+                seed=self._rng.randint(0, 2**31 - 1),
+            )
+        except nx.NetworkXError:
+            zero_side, one_side = seed_partition
+        return sorted(zero_side), sorted(one_side)
+
+    # ------------------------------------------------------------------ serve
+    def routing_cost(self, source: Key, destination: Key) -> int:
+        return route(self.graph, source, destination).distance
+
+    def serve(self, requests: Sequence[Tuple[Key, Key]]) -> BaselineRun:
+        run = BaselineRun(name=self.name)
+        for source, destination in requests:
+            run.record(
+                RequestCost(
+                    source=source,
+                    destination=destination,
+                    routing=self.routing_cost(source, destination),
+                )
+            )
+        return run
+
+    def height(self) -> int:
+        return self.graph.height()

@@ -1,0 +1,29 @@
+"""Direct-link oracle.
+
+The self-adjusting model charges ``d + ρ + 1`` per request; an omniscient
+adversary-free oracle that always happens to have the communicating pair
+directly linked pays ``0 + 0 + 1 = 1``.  This is the trivial per-request
+floor of the cost model and is reported alongside the working set bound
+(the *meaningful* lower bound, Theorem 1) in the comparison tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.baselines.base import BaselineRun, RequestCost
+from repro.skipgraph.node import Key
+
+__all__ = ["DirectLinkOracle"]
+
+
+class DirectLinkOracle:
+    """Every request costs exactly one round."""
+
+    name = "oracle-direct-link"
+
+    def serve(self, requests: Sequence[Tuple[Key, Key]]) -> BaselineRun:
+        run = BaselineRun(name=self.name)
+        for source, destination in requests:
+            run.record(RequestCost(source=source, destination=destination, routing=0))
+        return run

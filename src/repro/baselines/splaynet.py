@@ -1,0 +1,184 @@
+"""SplayNet baseline (Avin, Haeupler, Lotker, Scheideler, Schmid 2013).
+
+SplayNet generalises splay trees to communication networks: the nodes form a
+binary search tree; a request ``(u, v)`` costs the length of the tree path
+between ``u`` and ``v``; afterwards the tree is locally adjusted by a
+*double splay*: ``u`` is splayed to the root of the lowest subtree
+containing both endpoints, then ``v`` is splayed to become ``u``'s child.
+Frequently communicating pairs therefore end up adjacent, just as in DSG —
+but within a single BST rather than a skip graph, which is exactly the
+comparison the paper draws in its related-work discussion.
+
+The implementation below is a self-contained pointer-based BST with
+bottom-up splaying restricted to a subtree root, plus the cost accounting
+needed by experiment E9.  Costs follow the same convention as the other
+baselines: ``routing`` is the number of intermediate nodes on the
+communication path (tree-path length minus one), and the adjustment cost is
+the number of rotations performed (each rotation is a local, constant-round
+operation in the distributed implementation of SplayNets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineRun, RequestCost
+from repro.skipgraph.node import Key
+
+__all__ = ["SplayNetBaseline"]
+
+
+class _Node:
+    __slots__ = ("key", "parent", "left", "right")
+
+    def __init__(self, key: Key) -> None:
+        self.key = key
+        self.parent: Optional["_Node"] = None
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class SplayNetBaseline:
+    """A SplayNet over a fixed node population."""
+
+    def __init__(self, keys: Iterable[Key], adjust: bool = True, name: Optional[str] = None) -> None:
+        keys = sorted(set(keys))
+        if not keys:
+            raise ValueError("SplayNet needs at least one node")
+        self._nodes: Dict[Key, _Node] = {key: _Node(key) for key in keys}
+        self.root = self._build_balanced(keys, parent=None)
+        self.adjust = adjust
+        self.name = name or ("splaynet" if adjust else "static-bst")
+        self.rotations = 0
+
+    # ------------------------------------------------------------------ build
+    def _build_balanced(self, keys: Sequence[Key], parent: Optional[_Node]) -> Optional[_Node]:
+        if not keys:
+            return None
+        middle = len(keys) // 2
+        node = self._nodes[keys[middle]]
+        node.parent = parent
+        node.left = self._build_balanced(keys[:middle], node)
+        node.right = self._build_balanced(keys[middle + 1 :], node)
+        return node
+
+    # ------------------------------------------------------------- structure
+    def depth(self, key: Key) -> int:
+        node = self._nodes[key]
+        depth = 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def height(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def _path_to_root(self, key: Key) -> List[Key]:
+        node = self._nodes[key]
+        path = [node.key]
+        while node.parent is not None:
+            node = node.parent
+            path.append(node.key)
+        return path
+
+    def lowest_common_ancestor(self, u: Key, v: Key) -> Key:
+        ancestors_u = self._path_to_root(u)
+        ancestors_v = set(self._path_to_root(v))
+        for key in ancestors_u:
+            if key in ancestors_v:
+                return key
+        return self.root.key  # pragma: no cover - the root is always common
+
+    def tree_distance(self, u: Key, v: Key) -> int:
+        """Number of edges on the tree path between ``u`` and ``v``."""
+        if u == v:
+            return 0
+        lca = self.lowest_common_ancestor(u, v)
+        return (self.depth(u) - self.depth(lca)) + (self.depth(v) - self.depth(lca))
+
+    def in_order(self) -> List[Key]:
+        result: List[Key] = []
+
+        def walk(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            result.append(node.key)
+            walk(node.right)
+
+        walk(self.root)
+        return result
+
+    def is_valid_bst(self) -> bool:
+        keys = self.in_order()
+        return keys == sorted(keys)
+
+    # --------------------------------------------------------------- splaying
+    def _rotate_up(self, node: _Node) -> None:
+        parent = node.parent
+        if parent is None:
+            return
+        grand = parent.parent
+        if parent.left is node:
+            parent.left = node.right
+            if node.right is not None:
+                node.right.parent = parent
+            node.right = parent
+        else:
+            parent.right = node.left
+            if node.left is not None:
+                node.left.parent = parent
+            node.left = parent
+        parent.parent = node
+        node.parent = grand
+        if grand is None:
+            self.root = node
+        elif grand.left is parent:
+            grand.left = node
+        else:
+            grand.right = node
+        self.rotations += 1
+
+    def _splay_until(self, node: _Node, stop_parent: Optional[_Node]) -> None:
+        """Splay ``node`` upward until its parent is ``stop_parent``."""
+        while node.parent is not stop_parent and node.parent is not None:
+            parent = node.parent
+            grand = parent.parent
+            if grand is stop_parent or grand is None:
+                self._rotate_up(node)  # zig
+            elif (grand.left is parent) == (parent.left is node):
+                self._rotate_up(parent)  # zig-zig
+                self._rotate_up(node)
+            else:
+                self._rotate_up(node)  # zig-zag
+                self._rotate_up(node)
+
+    # ---------------------------------------------------------------- serving
+    def request(self, source: Key, destination: Key) -> RequestCost:
+        """Serve one request: measure the path, then double-splay."""
+        if source not in self._nodes or destination not in self._nodes:
+            raise KeyError(f"unknown endpoint in request ({source!r}, {destination!r})")
+        distance = self.tree_distance(source, destination)
+        routing = max(0, distance - 1)  # intermediate nodes on the path
+        adjustment = 0
+        if self.adjust and source != destination:
+            before = self.rotations
+            lca_key = self.lowest_common_ancestor(source, destination)
+            lca_parent = self._nodes[lca_key].parent
+            self._splay_until(self._nodes[source], lca_parent)
+            # Splay the destination below the source, on the side it belongs.
+            self._splay_until(self._nodes[destination], self._nodes[source])
+            adjustment = self.rotations - before
+        return RequestCost(source=source, destination=destination, routing=routing, adjustment=adjustment)
+
+    def serve(self, requests: Sequence[Tuple[Key, Key]]) -> BaselineRun:
+        run = BaselineRun(name=self.name)
+        for source, destination in requests:
+            run.record(self.request(source, destination))
+        return run

@@ -1,0 +1,60 @@
+"""Static skip graph baseline (no self-adjustment).
+
+This is exactly what DSG degenerates to with ``adjust=False``: requests are
+routed with the standard skip graph routing over a fixed topology.  Provided
+as a standalone class so that experiments do not need to instantiate the DSG
+machinery to measure the baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineRun, RequestCost
+from repro.simulation.rng import make_rng
+from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph
+from repro.skipgraph.node import Key
+from repro.skipgraph.routing import route
+
+__all__ = ["StaticSkipGraphBaseline"]
+
+
+class StaticSkipGraphBaseline:
+    """A fixed skip graph: every request pays the full routing distance."""
+
+    def __init__(
+        self,
+        keys: Iterable[Key],
+        topology: str = "random",
+        rng: Optional[random.Random] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if topology not in ("random", "balanced"):
+            raise ValueError("topology must be 'random' or 'balanced'")
+        rng = rng or make_rng()
+        keys = list(keys)
+        if topology == "random":
+            self.graph = build_skip_graph(keys, rng=rng)
+        else:
+            self.graph = build_balanced_skip_graph(keys)
+        self.topology = topology
+        self.name = name or f"static-{topology}"
+
+    def routing_cost(self, source: Key, destination: Key) -> int:
+        return route(self.graph, source, destination).distance
+
+    def serve(self, requests: Sequence[Tuple[Key, Key]]) -> BaselineRun:
+        run = BaselineRun(name=self.name)
+        for source, destination in requests:
+            run.record(
+                RequestCost(
+                    source=source,
+                    destination=destination,
+                    routing=self.routing_cost(source, destination),
+                )
+            )
+        return run
+
+    def height(self) -> int:
+        return self.graph.height()

@@ -1,0 +1,238 @@
+"""Approximate Median Finding for skip graphs (AMF; paper, Section V).
+
+Given a linked list of nodes each holding a value (DSG uses the priorities
+P(x)), AMF finds an approximate median in expected ``O(log n)`` rounds:
+
+1. build a balanced probabilistic skip list over the list members
+   (:class:`repro.skiplist.BalancedSkipList`);
+2. gather values towards the promoted nodes level by level ("all nodes
+   x in l_d, x not in l_{d+1} forward the values they have to the nearest
+   left neighbor that stepped up to level d+1");
+3. from level ``ceil(log_{a/2} h) + 1`` upward each node sorts the values it
+   received, keeps a uniform sample of ``a*h`` of them and attaches rank
+   information accounting for the discarded values;
+4. the root (left-most node) picks the value whose accounted rank is closest
+   to ``n/2`` and broadcasts it.
+
+Lemma 1 of the paper guarantees the output's rank lies within
+``n/2 ± n/(2a)``; experiment E5 checks this empirically and
+:func:`rank_interval` provides the exact-rank diagnostics used there.
+
+The implementation is *structural*: it simulates the information flow of the
+distributed algorithm on one process while charging rounds for every
+message-bearing step (skip list construction, per-level convergecast, final
+broadcast), using the same accounting as :mod:`repro.skiplist`.  The
+message-level version used to validate this accounting lives in
+:mod:`repro.distributed.amf_protocol`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulation.rng import make_rng
+from repro.skiplist.balanced import BalancedSkipList
+
+__all__ = ["AMFResult", "approximate_median", "exact_median", "rank_interval"]
+
+
+@dataclass
+class _Entry:
+    """A surviving value with the mass of discarded values assigned to it."""
+
+    value: float
+    #: Number of discarded values known to be <= ``value`` (and above the
+    #: previously kept value of the same local list).
+    weight_below: int = 0
+
+
+@dataclass
+class AMFResult:
+    """Outcome of one AMF execution.
+
+    Attributes
+    ----------
+    median:
+        The approximate median value selected by the root.
+    rounds:
+        Total rounds charged: skip list construction + per-level gathering +
+        final broadcast of the median.
+    n:
+        Number of values aggregated.
+    skiplist:
+        The balanced skip list built during the run.  DSG reuses it for
+        distributed counts and group-id broadcasts before destroying it.
+    exact:
+        ``True`` when the list was small enough (``n <= a``) that the median
+        was computed exactly without building a skip list.
+    rank_low, rank_high:
+        1-based rank interval of ``median`` within the input multiset
+        (ties make it an interval).  Provided for the Lemma 1 diagnostics.
+    """
+
+    median: float
+    rounds: int
+    n: int
+    skiplist: Optional[BalancedSkipList] = None
+    exact: bool = False
+    rank_low: int = 0
+    rank_high: int = 0
+
+    @property
+    def rank_error(self) -> float:
+        """Distance of the rank interval from the true middle ``n/2``."""
+        target = self.n / 2
+        if self.rank_low <= target <= self.rank_high:
+            return 0.0
+        return min(abs(self.rank_low - target), abs(self.rank_high - target))
+
+    def satisfies_lemma1(self, a: int) -> bool:
+        """Whether the output rank lies within ``n/2 ± n/(2a)`` (Lemma 1)."""
+        slack = self.n / (2 * a)
+        low = self.n / 2 - slack
+        high = self.n / 2 + slack
+        return not (self.rank_high < low or self.rank_low > high)
+
+
+def exact_median(values: Sequence[float]) -> float:
+    """Lower median of ``values`` (used for diagnostics and tiny lists)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot take the median of an empty sequence")
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def rank_interval(values: Sequence[float], chosen: float) -> Tuple[int, int]:
+    """1-based rank interval of ``chosen`` within ``values`` (ties widen it)."""
+    below = sum(1 for v in values if v < chosen)
+    not_above = sum(1 for v in values if v <= chosen)
+    return below + 1, max(not_above, below + 1)
+
+
+def approximate_median(
+    values: Mapping[Any, float] | Sequence[Tuple[Any, float]],
+    a: int = 4,
+    rng: Optional[random.Random] = None,
+) -> AMFResult:
+    """Run AMF over ``values`` (mapping ``list member -> value``).
+
+    The iteration order of ``values`` is taken as the linked-list order (for
+    DSG this is key order within the linked list).
+    """
+    if isinstance(values, Mapping):
+        items: List[Any] = list(values.keys())
+        value_of: Dict[Any, float] = dict(values)
+    else:
+        items = [item for item, _ in values]
+        value_of = {item: value for item, value in values}
+    if not items:
+        raise ValueError("AMF needs at least one value")
+    if a < 2:
+        raise ValueError("the balance parameter a must be at least 2")
+
+    all_values = [value_of[item] for item in items]
+    n = len(items)
+
+    # Small lists: the paper's construction assumes n > a; below that the
+    # nodes simply gather all values along the list and take the median.
+    if n <= a:
+        median = exact_median(all_values)
+        low, high = rank_interval(all_values, median)
+        return AMFResult(
+            median=median, rounds=n, n=n, skiplist=None, exact=True, rank_low=low, rank_high=high
+        )
+
+    rng = rng or make_rng()
+    skiplist = BalancedSkipList(items, a=a, rng=rng)
+    rounds = skiplist.construction_rounds
+
+    h = skiplist.height - 1  # paper's h: the top (singleton) level index
+    sample_size = max(2, a * max(h, 1))
+    base = max(a / 2, 1.5)
+    sampling_start = math.ceil(math.log(max(h, 2), base)) + 1
+
+    # entries held by each node, starting with its own value at the base.
+    held: Dict[Any, List[_Entry]] = {item: [_Entry(value=value_of[item])] for item in items}
+
+    for level in range(skiplist.height - 1):
+        segments = skiplist.segments(level)
+        next_held: Dict[Any, List[_Entry]] = {}
+        level_rounds = 0
+        for owner, members in segments:
+            gathered: List[_Entry] = []
+            forwarded_values = 0
+            for member in members:
+                entries = held.get(member, [])
+                gathered.extend(entries)
+                if member != owner:
+                    forwarded_values += len(entries)
+            # Pipelined forwarding along the segment: one hop per round plus
+            # one round per value crossing the busiest (first) link.
+            level_rounds = max(level_rounds, (len(members) - 1) + forwarded_values)
+            if level + 1 >= sampling_start:
+                gathered = _sample(gathered, sample_size)
+            next_held[owner] = gathered
+        rounds += level_rounds
+        held = next_held
+
+    root_entries = held[skiplist.root]
+    median, rank_estimate = _pick_median(root_entries)
+    rounds += skiplist.broadcast_rounds()
+
+    low, high = rank_interval(all_values, median)
+    return AMFResult(
+        median=median,
+        rounds=rounds,
+        n=n,
+        skiplist=skiplist,
+        exact=False,
+        rank_low=low,
+        rank_high=high,
+    )
+
+
+def _sample(entries: List[_Entry], sample_size: int) -> List[_Entry]:
+    """Sort ``entries`` and keep a uniform sample, folding discarded mass.
+
+    The discarded values between two kept values are assigned to the *upper*
+    kept value's ``weight_below``, so the total mass (count of original
+    values) is preserved exactly.
+    """
+    ordered = sorted(entries, key=lambda e: e.value)
+    if len(ordered) <= sample_size:
+        return ordered
+    last = len(ordered) - 1
+    kept_indices = sorted({round(i * last / (sample_size - 1)) for i in range(sample_size)})
+    kept: List[_Entry] = []
+    previous_index = -1
+    for index in kept_indices:
+        entry = ordered[index]
+        discarded = ordered[previous_index + 1 : index]
+        extra = sum(1 + d.weight_below for d in discarded)
+        kept.append(_Entry(value=entry.value, weight_below=entry.weight_below + extra))
+        previous_index = index
+    # Any trailing discarded values (there are none because the last index is
+    # always kept) would otherwise be lost; assert the mass is preserved.
+    return kept
+
+
+def _pick_median(entries: List[_Entry]) -> Tuple[float, float]:
+    """Pick the entry whose accounted rank is closest to the middle."""
+    ordered = sorted(entries, key=lambda e: e.value)
+    total_mass = sum(1 + e.weight_below for e in ordered)
+    target = total_mass / 2
+    best_value = ordered[0].value
+    best_rank = 0.0
+    best_distance = math.inf
+    cumulative = 0
+    for entry in ordered:
+        cumulative += entry.weight_below + 1
+        distance = abs(cumulative - target)
+        if distance < best_distance:
+            best_distance = distance
+            best_value = entry.value
+            best_rank = cumulative
+    return best_value, best_rank

@@ -1,0 +1,469 @@
+"""Dynamic Skip Graphs — the DSG front end (paper, Algorithm 1).
+
+:class:`DynamicSkipGraph` owns a skip graph, the per-node DSG state
+(timestamps, group-ids, dominating flags, group-bases) and the request
+history.  For every communication request ``(u, v)`` it:
+
+1. establishes the communication with standard skip graph routing and
+   records the routing distance ``d_{S_t}(σ_t)``;
+2. finds ``alpha`` (the highest common level) and the linked list
+   ``l_alpha``; dummy nodes inside ``l_alpha`` destroy themselves when the
+   transformation notification reaches them;
+3. computes priorities (P1-P3), merges the communicating groups at level
+   ``alpha`` and, if needed, runs the ``G_lower`` alignment of Appendix C;
+4. transforms the subtree of ``l_alpha`` level by level
+   (:func:`repro.core.transformation.transform`), which leaves ``u`` and
+   ``v`` in a linked list of size two;
+5. updates group-bases and applies timestamp rules T1-T6;
+6. charges the costs: ``routing distance + transformation rounds + 1``
+   (Equation 1 of the paper).
+
+The class also implements node addition/removal (Section IV-G) and the
+bookkeeping needed by the experiments: per-request results, average cost,
+working-set statistics, height tracking and memory auditing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.groups import (
+    glower_update,
+    initial_group_base,
+    merge_groups_at_alpha,
+    update_group_bases_after_transformation,
+)
+from repro.core.priorities import compute_priorities
+from repro.core.state import DSGNodeState
+from repro.core.timestamps import TimestampContext, apply_timestamp_rules
+from repro.core.transformation import TransformationOutcome, transform
+from repro.core.working_set import CommunicationHistory
+from repro.simulation.rng import make_rng
+from repro.skipgraph.balance import a_balance_violations
+from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph
+from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.node import SkipGraphNode
+from repro.skipgraph.routing import RoutingResult, route
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = ["DSGConfig", "DynamicSkipGraph", "RequestResult"]
+
+Key = Hashable
+
+
+@dataclass
+class DSGConfig:
+    """Tunable parameters of a :class:`DynamicSkipGraph` instance.
+
+    Attributes
+    ----------
+    a:
+        The balance parameter (a-balance property, AMF construction).
+    seed:
+        Seed of the instance's random source (AMF coin flips, dummy keys).
+    use_exact_median:
+        Replace AMF with an exact median (ablation; changes the cost model).
+    maintain_a_balance:
+        Insert dummy nodes to preserve the a-balance property (Section IV-F).
+    adjust:
+        When ``False`` requests are only routed, never transformed — the
+        instance then behaves exactly like a static skip graph (used as a
+        baseline and for ablations).
+    track_working_set:
+        Maintain the communication history and per-request working set
+        numbers (costs O(window) per request; disable for large speed runs).
+    initial_topology:
+        ``"balanced"`` (default) or ``"random"`` membership vectors for the
+        starting skip graph.
+    """
+
+    a: int = 4
+    seed: Optional[int] = None
+    use_exact_median: bool = False
+    maintain_a_balance: bool = True
+    adjust: bool = True
+    track_working_set: bool = True
+    initial_topology: str = "balanced"
+
+
+@dataclass
+class RequestResult:
+    """Per-request outcome and cost breakdown (Equation 1 of the paper)."""
+
+    time: int
+    source: Key
+    destination: Key
+    alpha: int
+    routing: RoutingResult
+    transformation_rounds: int = 0
+    total_work_rounds: int = 0
+    notification_rounds: int = 0
+    working_set_number: Optional[int] = None
+    amf_calls: int = 0
+    levels_rebuilt: int = 0
+    d_prime: int = 0
+    dummies_added: int = 0
+    dummies_removed: int = 0
+    height_after: int = 0
+
+    @property
+    def routing_cost(self) -> int:
+        """``d_{S_t}(σ_t)`` — intermediate nodes on the routing path."""
+        return self.routing.distance
+
+    @property
+    def cost(self) -> int:
+        """``d_{S_t}(σ_t) + ρ(A, S_t, σ_t) + 1`` (Equation 1)."""
+        return self.routing_cost + self.transformation_rounds + 1
+
+    @property
+    def log_working_set(self) -> float:
+        """``log2`` of the working set number (0 when untracked)."""
+        if not self.working_set_number or self.working_set_number < 1:
+            return 0.0
+        return math.log2(self.working_set_number)
+
+
+class DynamicSkipGraph:
+    """A self-adjusting skip graph driven by the DSG algorithm."""
+
+    def __init__(
+        self,
+        keys: Optional[Iterable[Key]] = None,
+        graph: Optional[SkipGraph] = None,
+        config: Optional[DSGConfig] = None,
+    ) -> None:
+        self.config = config or DSGConfig()
+        if self.config.a < 2:
+            raise ValueError("the balance parameter a must be at least 2")
+        self._rng = make_rng(self.config.seed)
+        if graph is not None:
+            self.graph = graph
+        elif keys is not None:
+            keys = list(keys)
+            self._check_keys(keys)
+            if self.config.initial_topology == "random":
+                self.graph = build_skip_graph(keys, rng=self._rng)
+            else:
+                self.graph = build_balanced_skip_graph(keys)
+        else:
+            raise ValueError("provide either keys or a pre-built skip graph")
+        self._check_keys(self.graph.real_keys)
+
+        self.states: Dict[Key, DSGNodeState] = {}
+        for key in self.graph.real_keys:
+            state = DSGNodeState(key=key)
+            state.group_base = initial_group_base(self.graph.singleton_level(key))
+            self.states[key] = state
+
+        self._time = 0
+        self.history = CommunicationHistory(total_nodes=len(self.graph.real_keys))
+        self.results: List[RequestResult] = []
+
+    # ------------------------------------------------------------------ misc
+    @staticmethod
+    def _check_keys(keys: Sequence[Key]) -> None:
+        for key in keys:
+            if isinstance(key, bool) or not isinstance(key, int) or key <= 0:
+                raise ValueError(
+                    "DSG requires node identifiers to be positive integers "
+                    f"(priority rule P3); got {key!r}"
+                )
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def n(self) -> int:
+        return len(self.graph.real_keys)
+
+    def height(self) -> int:
+        return self.graph.height()
+
+    def state(self, key: Key) -> DSGNodeState:
+        return self.states[key]
+
+    def routing_distance(self, u: Key, v: Key) -> int:
+        return route(self.graph, u, v).distance
+
+    def are_adjacent(self, u: Key, v: Key) -> bool:
+        """Whether ``u`` and ``v`` are directly linked.
+
+        After DSG serves a request ``(u, v)`` the pair shares a linked list
+        in which they are neighbours (a list of size two unless a dummy node
+        had to be placed on the same side to preserve the a-balance
+        property, in which case the list is slightly larger but the pair is
+        still adjacent in it).
+        """
+        level = self.graph.common_level(u, v)
+        members = self.graph.list_of(u, level)
+        if v not in members:
+            return False
+        index_u, index_v = members.index(u), members.index(v)
+        return abs(index_u - index_v) == 1
+
+    def memory_words_per_node(self) -> Dict[Key, int]:
+        """Words of DSG state per node (E11 memory audit)."""
+        height = self.height()
+        return {key: state.memory_words(height) for key, state in self.states.items()}
+
+    # --------------------------------------------------------------- requests
+    def request(self, source: Key, destination: Key) -> RequestResult:
+        """Serve one communication request (route, then self-adjust)."""
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        if not self.graph.has_node(source) or not self.graph.has_node(destination):
+            raise KeyError(f"unknown endpoint in request ({source!r}, {destination!r})")
+
+        self._time += 1
+        t = self._time
+        u, v = source, destination
+
+        routing = route(self.graph, u, v)
+        working_set = self.history.record(u, v) if self.config.track_working_set else None
+
+        result = RequestResult(
+            time=t,
+            source=u,
+            destination=v,
+            alpha=self.graph.common_level(u, v),
+            routing=routing,
+            working_set_number=working_set,
+        )
+
+        if not self.config.adjust:
+            result.height_after = self.height()
+            self.results.append(result)
+            return result
+
+        self._adjust(result, u, v, t)
+        result.height_after = self.height()
+        self.results.append(result)
+        return result
+
+    def _adjust(self, result: RequestResult, u: Key, v: Key, t: int) -> None:
+        """Steps 2-12 of Algorithm 1."""
+        graph = self.graph
+        alpha = graph.common_level(u, v)
+        result.alpha = alpha
+        members_all = graph.list_of(u, alpha)
+
+        # Dummy nodes destroy themselves on receiving the notification.  A
+        # dummy whose membership vector stops exactly at level ``alpha`` is
+        # protecting the split of l_{alpha-1} (one level *above* the subtree
+        # being rebuilt), so it stays alive; only dummies inside the rebuilt
+        # subtree are destroyed (they would otherwise hold stale bits).
+        dummies_removed = 0
+        members: List[Key] = []
+        for key in members_all:
+            node = graph.node(key)
+            if node.is_dummy:
+                if len(node.membership) > alpha:
+                    graph.remove_node(key)
+                    dummies_removed += 1
+            else:
+                members.append(key)
+        result.dummies_removed = dummies_removed
+
+        height = graph.height()
+
+        # Snapshot of the pre-transformation state (several timestamp rules
+        # refer to S_t rather than S_{t+1}).
+        old_membership = {key: MembershipVector(graph.membership(key).bits) for key in members}
+        old_timestamps = {key: dict(self.states[key].timestamps) for key in members}
+        old_group_ids_alpha = {key: self.states[key].group_id(alpha) for key in members}
+        old_group_u = self.states[u].group_id(alpha)
+        old_group_v = self.states[v].group_id(alpha)
+
+        # Notification broadcast: u and v ship O(H_t) words (their vectors,
+        # timestamps, group-ids and group-bases) to every node of l_alpha.
+        notification_rounds = (height - alpha) + max(1, math.ceil(math.log2(max(2, len(members)))))
+        result.notification_rounds = notification_rounds
+
+        priorities = compute_priorities(self.states, members, u, v, alpha, t, height)
+        merged = merge_groups_at_alpha(self.states, members, u, v, alpha)
+
+        glower_rounds = 0
+        wide_level = min(max(self.states[u].group_base, self.states[v].group_base), alpha)
+        wider_members = [
+            key for key in graph.list_of(u, wide_level) if not graph.node(key).is_dummy
+        ]
+        glower_participants = glower_update(
+            states=self.states,
+            alpha_members=members,
+            wider_members=wider_members,
+            u=u,
+            v=v,
+            alpha=alpha,
+        )
+        if glower_participants:
+            glower_rounds = height + max(1, math.ceil(math.log2(max(2, len(wider_members)))))
+
+        # After the merge, the (large) merged group at level ``alpha`` is the
+        # biggest group its members belong to, so their group-base drops to
+        # ``alpha`` (definition of the group-base, Appendix C; see the
+        # group-bases of the merged group in Fig. 4(c)).
+        for key in merged:
+            state = self.states[key]
+            if state.group_base > alpha:
+                state.group_base = alpha
+
+        outcome = transform(
+            graph=graph,
+            states=self.states,
+            members=members,
+            priorities=priorities,
+            u=u,
+            v=v,
+            alpha=alpha,
+            t=t,
+            a=self.config.a,
+            rng=self._rng,
+            use_exact_median=self.config.use_exact_median,
+            maintain_a_balance=self.config.maintain_a_balance,
+        )
+
+        update_group_bases_after_transformation(
+            states=self.states,
+            members=members,
+            split_levels_per_key=outcome.split_levels,
+            alpha=alpha,
+        )
+
+        new_membership = {key: MembershipVector(graph.membership(key).bits) for key in members}
+        ctx = TimestampContext(
+            u=u,
+            v=v,
+            t=t,
+            alpha=alpha,
+            d_prime=outcome.d_prime,
+            members=members,
+            old_membership=old_membership,
+            new_membership=new_membership,
+            received_medians=outcome.received_medians,
+            old_group_u=old_group_u,
+            old_group_v=old_group_v,
+            old_group_ids_alpha=old_group_ids_alpha,
+            split_levels=outcome.split_levels,
+            glower_participants=glower_participants,
+            old_timestamps=old_timestamps,
+        )
+        apply_timestamp_rules(self.states, ctx)
+
+        result.transformation_rounds = notification_rounds + glower_rounds + outcome.rounds
+        result.total_work_rounds = notification_rounds + glower_rounds + outcome.total_work_rounds
+        result.amf_calls = outcome.amf_calls
+        result.levels_rebuilt = outcome.levels_rebuilt
+        result.d_prime = outcome.d_prime
+        result.dummies_added = len(outcome.dummies_added)
+
+    def run_sequence(self, requests: Sequence[Tuple[Key, Key]]) -> List[RequestResult]:
+        """Serve every request of ``requests`` in order."""
+        return [self.request(u, v) for u, v in requests]
+
+    # ------------------------------------------------------------ node churn
+    def add_node(self, key: Key, payload=None) -> None:
+        """Add a peer with a random membership vector (Section IV-G)."""
+        self._check_keys([key])
+        if self.graph.has_node(key):
+            raise ValueError(f"key {key!r} already present")
+        bits: List[int] = []
+        while self._prefix_shared(key, bits):
+            bits.append(self._rng.randint(0, 1))
+        self.graph.add_node(SkipGraphNode(key=key, membership=MembershipVector(bits), payload=payload))
+        state = DSGNodeState(key=key)
+        state.group_base = initial_group_base(self.graph.singleton_level(key))
+        self.states[key] = state
+        self.history.total_nodes = len(self.graph.real_keys)
+        if self.config.maintain_a_balance:
+            self.restore_a_balance()
+
+    def _prefix_shared(self, key: Key, bits: List[int]) -> bool:
+        prefix = tuple(bits)
+        for other in self.graph.real_keys:
+            if other == key:
+                continue
+            membership = self.graph.membership(other)
+            if len(membership) >= len(prefix) and membership.bits[: len(prefix)] == prefix:
+                return True
+        return False
+
+    def remove_node(self, key: Key) -> None:
+        """Remove a peer (Section IV-G)."""
+        if not self.graph.has_node(key):
+            raise KeyError(f"no node with key {key!r}")
+        if self.graph.node(key).is_dummy:
+            raise ValueError("dummy nodes are managed internally")
+        self.graph.remove_node(key)
+        self.states.pop(key, None)
+        self.history.total_nodes = len(self.graph.real_keys)
+        if self.config.maintain_a_balance:
+            self.restore_a_balance()
+
+    def restore_a_balance(self) -> int:
+        """Insert dummy nodes until no a-balance violation remains.
+
+        Returns the number of dummies inserted.  Used after node addition or
+        removal (Section IV-G); per-transformation maintenance happens inside
+        :func:`repro.core.transformation.transform`.
+        """
+        inserted = 0
+        for _ in range(2 * len(self.graph) + 1):
+            violations = a_balance_violations(self.graph, self.config.a)
+            if not violations:
+                break
+            violation = violations[0]
+            run = list(violation.run_keys)
+            lower, upper = run[self.config.a - 1], run[self.config.a]
+            dummy_key = self._dummy_key_between(lower, upper)
+            if dummy_key is None:
+                break
+            prefix = self.graph.membership(lower).prefix(violation.level)
+            membership = MembershipVector(prefix.bits + (1 - violation.bit,))
+            self.graph.add_node(SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True))
+            inserted += 1
+        return inserted
+
+    def _dummy_key_between(self, lower: Key, upper: Key) -> Optional[Key]:
+        try:
+            low, high = float(lower), float(upper)
+        except (TypeError, ValueError):
+            return None
+        if not low < high:
+            return None
+        for _ in range(16):
+            candidate = low + (high - low) * (0.25 + 0.5 * self._rng.random())
+            if candidate not in (low, high) and not self.graph.has_node(candidate):
+                return candidate
+        return None
+
+    # --------------------------------------------------------------- analysis
+    def total_cost(self) -> int:
+        """Sum of per-request costs (Equation 1 numerator)."""
+        return sum(result.cost for result in self.results)
+
+    def average_cost(self) -> float:
+        """Average cost per request served so far (Equation 1)."""
+        if not self.results:
+            return 0.0
+        return self.total_cost() / len(self.results)
+
+    def total_routing_cost(self) -> int:
+        return sum(result.routing_cost for result in self.results)
+
+    def working_set_bound(self) -> float:
+        """``WS(σ)`` of the sequence served so far (Theorem 1 lower bound)."""
+        return self.history.working_set_bound()
+
+    def dummy_count(self) -> int:
+        return len(self.graph.dummy_keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicSkipGraph(n={self.n}, height={self.height()}, "
+            f"requests={len(self.results)}, a={self.config.a})"
+        )

@@ -1,0 +1,235 @@
+"""Group management: merge, split reassignment, G_lower and group-bases.
+
+Implements the group-id bookkeeping of Sections IV-C/IV-D and Appendix C:
+
+* merging the communicating nodes' groups at level ``alpha`` (all members
+  adopt ``u``'s identifier as group-id),
+* locating the group ``g_s`` whose priority band straddles a negative
+  approximate median (Case 2 of the transformation),
+* reassigning group-ids after a split (the sub-group that moves to the
+  1-subgraph adopts the identifier of its left-most member; every node whose
+  new linked list contains both ``u`` and ``v`` adopts ``u``),
+* the ``G_lower`` propagation that aligns group-ids below ``alpha`` when the
+  merged groups had different histories (Appendix C),
+* group-base maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.priorities import priority_band
+from repro.core.state import DSGNodeState
+
+__all__ = [
+    "merge_groups_at_alpha",
+    "find_straddled_group",
+    "assign_group_ids_after_split",
+    "glower_update",
+    "update_group_bases_after_transformation",
+    "initial_group_base",
+]
+
+Key = Hashable
+
+
+def merge_groups_at_alpha(
+    states: Mapping[Key, DSGNodeState],
+    members: Iterable[Key],
+    u: Key,
+    v: Key,
+    alpha: int,
+) -> List[Key]:
+    """Merge ``u``'s and ``v``'s groups at level ``alpha`` (Section IV-C).
+
+    Every member of either group adopts ``u``'s numeric identifier as its
+    level-``alpha`` group-id.  Returns the keys of the merged group
+    (including ``u`` and ``v``).
+    """
+    group_u = states[u].group_id(alpha)
+    group_v = states[v].group_id(alpha)
+    merged: List[Key] = []
+    for key in members:
+        state = states[key]
+        if state.group_id(alpha) in (group_u, group_v):
+            state.set_group_id(alpha, states[u].uid)
+            merged.append(key)
+    return merged
+
+
+def find_straddled_group(
+    states: Mapping[Key, DSGNodeState],
+    members: Sequence[Key],
+    level: int,
+    median: float,
+    t: int,
+    exclude: Tuple[Key, Key],
+) -> Optional[List[Key]]:
+    """Find the non-communicating group ``g_s`` straddled by a negative median.
+
+    Case 2 of the transformation (Section IV-C): when the approximate median
+    ``M`` is negative there may exist a group ``g_s`` whose priority band
+    ``(-(G+1)*t, -G*t]`` contains ``M`` (equation 2); splitting by direct
+    priority comparison would tear that group apart.  The group is unique
+    because distinct groups occupy disjoint bands.
+
+    Returns the members of ``g_s`` within ``members`` (in the given order),
+    or ``None`` when no group straddles the median.
+    """
+    if median >= 0:
+        return None
+    u, v = exclude
+    candidates: Dict[Key, List[Key]] = {}
+    for key in members:
+        if key in (u, v):
+            continue
+        group = states[key].group_id(level)
+        if not isinstance(group, bool) and isinstance(group, int) and group > 0:
+            low, high = priority_band(group, t)
+            if low <= median < high:
+                candidates.setdefault(group, []).append(key)
+    if not candidates:
+        return None
+    # Bands are disjoint, so at most one group can straddle the median.
+    group = next(iter(candidates))
+    return candidates[group]
+
+
+def assign_group_ids_after_split(
+    states: Mapping[Key, DSGNodeState],
+    zero_list: Sequence[Key],
+    one_list: Sequence[Key],
+    level: int,
+    parent_level: int,
+    u: Key,
+    v: Key,
+) -> List[Key]:
+    """Reassign level-``level`` group-ids after one split (Section IV-D).
+
+    * every node whose new list contains both ``u`` and ``v`` sets its
+      group-id to ``u``'s numeric identifier;
+    * every (old, level ``parent_level``) group that is split between the
+      two new lists gives the part that moved to the 1-subgraph a fresh
+      group-id: the numeric identifier of that part's left-most member;
+    * groups that moved intact keep their existing level-``level`` group-ids
+      (their internal sub-group structure is preserved, as the analysis of
+      Lemma 2 requires).
+
+    Returns the list of old group-ids that were split by this assignment
+    (used by timestamp rule T5 and the group-base updates).
+    """
+    zero_set = set(zero_list)
+    one_set = set(one_list)
+
+    # Old groups by their parent-level group-id.
+    old_groups: Dict[Key, List[Key]] = {}
+    for key in list(zero_list) + list(one_list):
+        old_groups.setdefault(states[key].group_id(parent_level), []).append(key)
+
+    split_groups: List[Key] = []
+    for group_id, group_members in old_groups.items():
+        in_zero = [key for key in group_members if key in zero_set]
+        in_one = [key for key in group_members if key in one_set]
+        if in_zero and in_one:
+            split_groups.append(group_id)
+            # The 1-subgraph part adopts the identifier of its left-most node.
+            new_id = states[min(in_one)].uid
+            for key in in_one:
+                states[key].set_group_id(level, new_id)
+
+    if u in zero_set and v in zero_set:
+        for key in zero_list:
+            states[key].set_group_id(level, states[u].uid)
+    elif u in one_set and v in one_set:  # pragma: no cover - u,v always move to 0
+        for key in one_list:
+            states[key].set_group_id(level, states[u].uid)
+    return split_groups
+
+
+def glower_update(
+    states: Mapping[Key, DSGNodeState],
+    alpha_members: Sequence[Key],
+    wider_members: Sequence[Key],
+    u: Key,
+    v: Key,
+    alpha: int,
+) -> set:
+    """Appendix C: align group-ids below ``alpha`` after a merge.
+
+    When ``u``'s and ``v``'s groups had different group-ids at level
+    ``alpha - 1`` their histories below ``alpha`` disagree; the node with the
+    *smaller* group-base donates its lower-level group-ids (the vector
+    ``G_lower``) to the other group's members, and every node of the merged
+    group at level ``alpha`` adopts ``G_lower`` for levels below ``alpha``.
+
+    Parameters
+    ----------
+    alpha_members:
+        Members of ``l_alpha``.
+    wider_members:
+        Members of the list at level ``max(B_u, B_v)`` that contains the pair
+        (a superset of ``l_alpha``).
+
+    Returns the set of nodes that initialized or received ``G_lower`` (used
+    by timestamp rule T4); the set is empty when no update was needed.
+    """
+    if alpha == 0:
+        return set()
+    state_u, state_v = states[u], states[v]
+    if state_u.group_id(alpha - 1) == state_v.group_id(alpha - 1):
+        return set()
+
+    base_u, base_v = state_u.group_base, state_v.group_base
+    donor = state_u if base_u <= base_v else state_v
+    g_lower = [donor.group_id(level) for level in range(alpha)]
+    new_base = min(base_u, base_v)
+    wide_level = max(base_u, base_v)
+    ref_u = state_u.group_id(wide_level)
+    ref_v = state_v.group_id(wide_level)
+
+    participants = set()
+    for key in wider_members:
+        state = states[key]
+        if state.group_id(wide_level) in (ref_u, ref_v):
+            state.group_base = new_base
+            for level in range(min(alpha, len(g_lower))):
+                state.set_group_id(level, g_lower[level])
+            participants.add(key)
+
+    for key in alpha_members:
+        state = states[key]
+        if state.group_id(alpha) == states[u].uid:
+            for level in range(min(alpha, len(g_lower))):
+                state.set_group_id(level, g_lower[level])
+            participants.add(key)
+    return participants
+
+
+def update_group_bases_after_transformation(
+    states: Mapping[Key, DSGNodeState],
+    members: Sequence[Key],
+    split_levels_per_key: Mapping[Key, List[int]],
+    alpha: int,
+) -> None:
+    """Group-base maintenance after a transformation (Appendix C).
+
+    * if a node's group split at some level ``d >= alpha`` and its group-base
+      was exactly ``d``, the base drops by one;
+    * if its base was ``alpha`` and the lowest level at which its group split
+      is ``d > alpha + 1``, the base becomes ``d - 1``.
+    """
+    for key in members:
+        state = states[key]
+        split_levels = sorted(split_levels_per_key.get(key, []))
+        if not split_levels:
+            continue
+        if state.group_base in split_levels and state.group_base >= alpha:
+            state.group_base = max(0, state.group_base - 1)
+        lowest = split_levels[0]
+        if state.group_base == alpha and lowest > alpha + 1:
+            state.group_base = lowest - 1
+
+
+def initial_group_base(singleton_level: int) -> int:
+    """Initial group-base: the lowest level at which the node is singleton."""
+    return max(0, singleton_level)

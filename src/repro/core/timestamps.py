@@ -1,0 +1,189 @@
+"""Timestamp rules T1-T6 (paper, Section IV-E).
+
+Timestamps encode how recently a node last "confirmed" its attachment to the
+group it belongs to at each level; DSG uses them both to compute priorities
+(P2/P3) and to decide, during later transformations, which nodes may be
+separated without violating the working set property.
+
+The rules are applied once per request, *after* the structural
+transformation, in the order T1 .. T6.  They need a fairly rich view of what
+the transformation did, bundled in :class:`TimestampContext`:
+
+* the membership vectors before (``S_t``) and after (``S_{t+1}``) the
+  transformation,
+* the approximate median received by each node at each level,
+* which (old) groups were split, and at which levels, for each node,
+* which nodes initialized or received ``G_lower`` (Appendix C),
+* the snapshot of all timestamps before the request (several rules refer to
+  the *old* values).
+
+Two definitional ambiguities in the paper are resolved as follows and noted
+in DESIGN.md: the "longest common postfix" of two membership vectors is
+interpreted as the longest common *prefix* (the quantity that determines the
+highest shared linked list, which is what the surrounding text uses it for),
+and rule T1's downward loop runs to ``min(B_u, B_v)`` (rule T6 zeroes
+anything below the group-base afterwards, so this choice is conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence, Set
+
+from repro.core.state import DSGNodeState
+from repro.skipgraph.membership import MembershipVector, common_prefix_length
+
+__all__ = ["TimestampContext", "apply_timestamp_rules"]
+
+Key = Hashable
+
+
+@dataclass
+class TimestampContext:
+    """Everything the timestamp rules need to know about one request."""
+
+    u: Key
+    v: Key
+    t: int
+    alpha: int
+    #: Level at which ``u`` and ``v`` form a linked list of size two.
+    d_prime: int
+    #: Members of ``l_alpha`` (the nodes involved in the transformation).
+    members: Sequence[Key]
+    #: Membership vectors before the transformation (``S_t``).
+    old_membership: Mapping[Key, MembershipVector]
+    #: Membership vectors after the transformation (``S_{t+1}``).
+    new_membership: Mapping[Key, MembershipVector]
+    #: ``received_medians[x][d]`` = approximate median received by ``x``
+    #: while its level-``d`` list was being split.
+    received_medians: Mapping[Key, Mapping[int, float]]
+    #: Old group-ids at level ``alpha`` (before the merge), for rule T3.
+    old_group_u: Key = None
+    old_group_v: Key = None
+    old_group_ids_alpha: Mapping[Key, Key] = field(default_factory=dict)
+    #: ``split_levels[x]`` = levels at which ``x``'s group was split.
+    split_levels: Mapping[Key, List[int]] = field(default_factory=dict)
+    #: Nodes that initialized or received ``G_lower`` (rule T4).
+    glower_participants: Set[Key] = field(default_factory=set)
+    #: Snapshot of every member's timestamps taken before the request.
+    old_timestamps: Mapping[Key, Mapping[int, int]] = field(default_factory=dict)
+
+
+def apply_timestamp_rules(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """Apply rules T1-T6 in order, mutating ``states`` in place."""
+    _rule_t1(states, ctx)
+    _rule_t2(states, ctx)
+    _rule_t3(states, ctx)
+    _rule_t4(states, ctx)
+    _rule_t5(states, ctx)
+    _rule_t6(states, ctx)
+
+
+def _old_timestamp(ctx: TimestampContext, key: Key, level: int) -> int:
+    return ctx.old_timestamps.get(key, {}).get(level, 0)
+
+
+def _rule_t1(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T1: stamp the communicating pair with the current time."""
+    state_u, state_v = states[ctx.u], states[ctx.v]
+    for state in (state_u, state_v):
+        state.set_timestamp(ctx.d_prime, ctx.t)
+        state.set_timestamp(ctx.d_prime + 1, ctx.t)
+    floor_level = min(state_u.group_base, state_v.group_base)
+    for level in range(ctx.d_prime - 1, floor_level - 1, -1):
+        merged = max(_old_timestamp(ctx, ctx.u, level), _old_timestamp(ctx, ctx.v, level))
+        state_u.set_timestamp(level, merged)
+        state_v.set_timestamp(level, merged)
+
+
+def _nearest_communicating_node(ctx: TimestampContext, key: Key) -> Key:
+    """The communicating node (u or v) closest to ``key`` in ``S_t``."""
+    membership = ctx.old_membership[key]
+    lcp_u = common_prefix_length(membership, ctx.old_membership[ctx.u])
+    lcp_v = common_prefix_length(membership, ctx.old_membership[ctx.v])
+    return ctx.u if lcp_u >= lcp_v else ctx.v
+
+
+def _rule_t2(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T2: refresh timestamps of nodes that stay in the merged group."""
+    uid_u = states[ctx.u].uid
+    for key in ctx.members:
+        if key in (ctx.u, ctx.v):
+            continue
+        state = states[key]
+        nearest = _nearest_communicating_node(ctx, key)
+        c_prime = common_prefix_length(ctx.old_membership[key], ctx.old_membership[nearest])
+        medians = ctx.received_medians.get(key, {})
+        for level in sorted(medians):
+            if level < ctx.alpha:
+                continue
+            if state.group_id(level) != uid_u:
+                continue
+            median = medians[level]
+            if median == float("inf"):
+                # The split was decided by the communicating pair's infinite
+                # priority alone; the relevant "time" for rule T2 is then the
+                # request's own timestamp.
+                median = ctx.t
+            chosen = None
+            for c in range(ctx.alpha, max(ctx.alpha, c_prime)):
+                if _old_timestamp(ctx, key, c) > median:
+                    chosen = _old_timestamp(ctx, key, c)
+                    break
+            state.set_timestamp(level + 1, int(chosen if chosen is not None else max(median, 0)))
+
+
+def _rule_t3(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T3: nodes separated from the pair inherit the timestamp of the old depth."""
+    for key in ctx.members:
+        if key in (ctx.u, ctx.v):
+            continue
+        old_group = ctx.old_group_ids_alpha.get(key)
+        for endpoint, endpoint_group in ((ctx.u, ctx.old_group_u), (ctx.v, ctx.old_group_v)):
+            if old_group != endpoint_group:
+                continue
+            c_prime = common_prefix_length(ctx.old_membership[key], ctx.old_membership[endpoint])
+            c_double = common_prefix_length(ctx.new_membership[key], ctx.new_membership[endpoint])
+            if c_prime - 1 > c_double + 1:
+                state = states[key]
+                anchor = state.timestamp(c_prime)
+                for level in range(c_double + 1, c_prime):
+                    state.set_timestamp(level, anchor)
+
+
+def _rule_t4(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T4: nodes touched by the G_lower update clear stale low-level stamps."""
+    for key in ctx.glower_participants:
+        if key not in states:
+            continue
+        state = states[key]
+        lowest_zero = None
+        for level in range(0, ctx.d_prime + 2):
+            if state.timestamp(level + 1) == 0:
+                lowest_zero = level
+                break
+        if lowest_zero is None or lowest_zero <= state.group_base:
+            continue
+        fill = state.timestamp(lowest_zero + 1)
+        for level in range(state.group_base, lowest_zero + 1):
+            state.set_timestamp(level, fill)
+
+
+def _rule_t5(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T5: members of a split group backfill a zero timestamp one level down."""
+    for key in ctx.members:
+        state = states[key]
+        for level in sorted(ctx.split_levels.get(key, [])):
+            if level < ctx.alpha or level < 1:
+                continue
+            if state.timestamp(level - 1) == 0:
+                state.set_timestamp(level - 1, state.timestamp(level))
+
+
+def _rule_t6(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
+    """T6: zero every timestamp below the node's group-base."""
+    for key in ctx.members:
+        state = states[key]
+        for level in range(0, state.group_base):
+            if state.timestamp(level) != 0:
+                state.set_timestamp(level, 0)

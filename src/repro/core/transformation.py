@@ -1,0 +1,565 @@
+"""The level-by-level topology transformation (paper, Section IV-C/IV-F).
+
+Starting from the highest common linked list ``l_alpha`` of the
+communicating pair, the transformation splits every affected linked list
+into its 0-sublist and 1-sublist, level by level, until all involved nodes
+are singletons.  Each split:
+
+1. computes the approximate median ``M`` of the members' priorities (AMF);
+2. assigns each member to the 0- or 1-subgraph:
+
+   * Case 1 (``M`` positive): by direct priority comparison, which splits
+     the merged group and records the *is-dominating-group* flags;
+   * Case 2 (``M`` negative): if a non-communicating group ``g_s``
+     straddles the median, the 1/3-2/3 rules of the paper decide whether
+     ``g_s`` is split (using the dominating flags), moved wholesale to the
+     lighter side, or moved wholesale to the 1-subgraph;
+
+3. reassigns group-ids of split groups (Section IV-D);
+4. re-checks the a-balance property and inserts *dummy nodes* into the
+   sibling sublist to break over-long runs (Section IV-F);
+5. recomputes priorities with rule P4 for the sublist that does not contain
+   the communicating pair.
+
+Round accounting: every split charges the AMF rounds (skip list
+construction, convergecast, broadcast), the distributed-count rounds when
+Case 2 needs ``|g_s|``/``|L_low|``/``|L_high|``, the group-id broadcast when
+a group splits, the ``<= a``-round neighbour search for building the new
+lists, and a constant for the chain detection.  Sibling sublists transform
+in parallel, so the transformation cost of a request is the *critical path*
+(max over children), while ``total_work_rounds`` accumulates everything for
+message-count analyses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, MutableMapping, Optional, Sequence, Set, Tuple
+
+from repro.core.amf import AMFResult, approximate_median, exact_median
+from repro.core.groups import assign_group_ids_after_split, find_straddled_group
+from repro.core.priorities import COMMUNICATING_PRIORITY, recompute_priority_p4
+from repro.core.state import DSGNodeState
+from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.node import SkipGraphNode
+from repro.skipgraph.skipgraph import SkipGraph
+from repro.skiplist.distributed_sum import distributed_sum
+
+__all__ = ["SplitStep", "TransformationOutcome", "transform"]
+
+Key = Hashable
+
+#: Rounds charged for the local a-balance chain detection at each split.
+CHAIN_CHECK_ROUNDS = 2
+#: Rounds charged for placing one dummy node (identifier pick + linking).
+DUMMY_PLACEMENT_ROUNDS = 2
+
+
+@dataclass
+class SplitStep:
+    """Record of one linked-list split (one level of one branch)."""
+
+    level: int                       # level whose membership bit was assigned
+    members: List[Key]
+    median: float
+    case: str                        # "pair", "positive", "negative-*", "exact"
+    zero_list: List[Key]
+    one_list: List[Key]
+    rounds: int
+    split_group_ids: List[Key] = field(default_factory=list)
+    dummies: List[Key] = field(default_factory=list)
+
+
+@dataclass
+class TransformationOutcome:
+    """Aggregate result of one transformation."""
+
+    rounds: int                      # critical-path rounds (parallel branches)
+    total_work_rounds: int           # sum of the rounds of every split
+    amf_calls: int
+    steps: List[SplitStep]
+    received_medians: Dict[Key, Dict[int, float]]
+    split_levels: Dict[Key, List[int]]
+    d_prime: int
+    dummies_added: List[Key]
+
+    @property
+    def levels_rebuilt(self) -> int:
+        return len({step.level for step in self.steps})
+
+
+def transform(
+    graph: SkipGraph,
+    states: MutableMapping[Key, DSGNodeState],
+    members: Sequence[Key],
+    priorities: MutableMapping[Key, float],
+    u: Key,
+    v: Key,
+    alpha: int,
+    t: int,
+    a: int,
+    rng: random.Random,
+    use_exact_median: bool = False,
+    maintain_a_balance: bool = True,
+) -> TransformationOutcome:
+    """Transform the subtree rooted at ``l_alpha`` so that ``u``-``v`` become adjacent."""
+    members = sorted(members)
+    outcome = TransformationOutcome(
+        rounds=0,
+        total_work_rounds=0,
+        amf_calls=0,
+        steps=[],
+        received_medians={key: {} for key in members},
+        split_levels={},
+        d_prime=alpha,
+        dummies_added=[],
+    )
+
+    # The rebuilt subtree replaces whatever was below level ``alpha``: every
+    # involved node forgets its deeper membership bits and re-acquires them
+    # level by level ("finds their new and complete membership vectors").
+    for key in members:
+        membership = graph.membership(key)
+        if len(membership) > alpha:
+            graph.set_membership(key, membership.truncated(alpha))
+
+    if set(members) == {u, v}:
+        outcome.d_prime = alpha
+
+    critical = _split_recursive(
+        graph=graph,
+        states=states,
+        members=members,
+        priorities=priorities,
+        level=alpha + 1,
+        u=u,
+        v=v,
+        alpha=alpha,
+        t=t,
+        a=a,
+        rng=rng,
+        use_exact_median=use_exact_median,
+        maintain_a_balance=maintain_a_balance,
+        outcome=outcome,
+    )
+    outcome.rounds = critical
+    return outcome
+
+
+# --------------------------------------------------------------------------- recursion
+def _split_recursive(
+    graph: SkipGraph,
+    states: MutableMapping[Key, DSGNodeState],
+    members: List[Key],
+    priorities: MutableMapping[Key, float],
+    level: int,
+    u: Key,
+    v: Key,
+    alpha: int,
+    t: int,
+    a: int,
+    rng: random.Random,
+    use_exact_median: bool,
+    maintain_a_balance: bool,
+    outcome: TransformationOutcome,
+) -> int:
+    """Split ``members`` (a linked list at ``level - 1``) and recurse.
+
+    Returns the critical-path rounds of this branch.
+    """
+    if len(members) < 2:
+        return 0
+
+    contains_pair = u in members and v in members
+
+    # ------------------------------------------------------------ median
+    if contains_pair and set(members) == {u, v}:
+        median = COMMUNICATING_PRIORITY
+        amf_result: Optional[AMFResult] = None
+        step_rounds = 1
+        case = "pair"
+        zero_list, one_list = [u], [v]
+        outcome.d_prime = level - 1
+    else:
+        # Priorities are totally ordered as (priority, finer group-id, key)
+        # triples: ties in raw priority (common when rule T2 stamped a whole
+        # group with the same value) are broken first by the node's group-id
+        # at the level being assigned — so members of the same finer group
+        # stay contiguous in the order and are only separated when the median
+        # falls inside their block — and finally by key so the order is
+        # total.  This keeps the skip graph height bounded (Lemma 5) while
+        # preserving the group cohesion the working set property relies on
+        # (see DESIGN.md, "Simplifications").
+        ordered_values = {
+            key: (priorities[key], _group_rank(states[key], level), key) for key in members
+        }
+        if use_exact_median:
+            median_pair = exact_median(list(ordered_values.values()))
+            amf_result = None
+            step_rounds = 2 * max(1, math.ceil(math.log2(len(members))))
+            case = "exact"
+        else:
+            amf_result = approximate_median(ordered_values, a=a, rng=rng)
+            median_pair = amf_result.median
+            step_rounds = amf_result.rounds
+            case = "amf"
+        outcome.amf_calls += 0 if use_exact_median else 1
+        median = median_pair[0]
+
+        for key in members:
+            outcome.received_medians.setdefault(key, {})[level - 1] = median
+
+        zero_list, one_list, case_label, extra_rounds = _assign(
+            graph=graph,
+            states=states,
+            members=members,
+            order=ordered_values,
+            median_pair=median_pair,
+            level=level,
+            u=u,
+            v=v,
+            t=t,
+            amf_result=amf_result,
+        )
+        case = case_label if case == "amf" else f"{case}-{case_label}"
+        step_rounds += extra_rounds
+
+    # ------------------------------------------------------------ apply bits
+    for key in zero_list:
+        graph.set_membership(key, graph.membership(key).with_bit(level, 0))
+    for key in one_list:
+        graph.set_membership(key, graph.membership(key).with_bit(level, 1))
+
+    # Finding the new left/right neighbours costs at most ``a`` rounds thanks
+    # to the a-balance property (Section IV-C).
+    step_rounds += a
+
+    # ------------------------------------------------------------ group ids
+    split_group_ids = assign_group_ids_after_split(
+        states=states,
+        zero_list=zero_list,
+        one_list=one_list,
+        level=level,
+        parent_level=level - 1,
+        u=u,
+        v=v,
+    )
+    if split_group_ids:
+        # New group-id broadcast over the balanced skip list (Section IV-D).
+        step_rounds += (
+            amf_result.skiplist.broadcast_rounds()
+            if amf_result is not None and amf_result.skiplist is not None
+            else max(1, math.ceil(math.log2(len(members))))
+        )
+        split_parent_groups = set(split_group_ids)
+        for key in members:
+            if states[key].group_id(level - 1) in split_parent_groups or (
+                contains_pair and states[key].group_id(level - 1) == states[u].uid
+            ):
+                outcome.split_levels.setdefault(key, []).append(level - 1)
+
+    # ------------------------------------------------------------ dummies
+    dummies: List[Key] = []
+    if maintain_a_balance:
+        dummies = _break_chains(graph, members, zero_list, one_list, level, a, rng, u, v)
+        if dummies:
+            step_rounds += CHAIN_CHECK_ROUNDS + DUMMY_PLACEMENT_ROUNDS
+        else:
+            step_rounds += CHAIN_CHECK_ROUNDS
+        outcome.dummies_added.extend(dummies)
+
+    if set(zero_list) == {u, v}:
+        outcome.d_prime = level
+
+    step = SplitStep(
+        level=level,
+        members=list(members),
+        median=median,
+        case=case,
+        zero_list=list(zero_list),
+        one_list=list(one_list),
+        rounds=step_rounds,
+        split_group_ids=split_group_ids,
+        dummies=dummies,
+    )
+    outcome.steps.append(step)
+    outcome.total_work_rounds += step_rounds
+
+    # ------------------------------------------------------------ P4 + recurse
+    child_rounds = []
+    for child in (zero_list, one_list):
+        if len(child) < 2:
+            continue
+        child_has_pair = u in child and v in child
+        if not child_has_pair:
+            for key in child:
+                priorities[key] = recompute_priority_p4(states[key], level, t)
+        child_rounds.append(
+            _split_recursive(
+                graph=graph,
+                states=states,
+                members=child,
+                priorities=priorities,
+                level=level + 1,
+                u=u,
+                v=v,
+                alpha=alpha,
+                t=t,
+                a=a,
+                rng=rng,
+                use_exact_median=use_exact_median,
+                maintain_a_balance=maintain_a_balance,
+                outcome=outcome,
+            )
+        )
+    return step_rounds + (max(child_rounds) if child_rounds else 0)
+
+
+def _group_rank(state: DSGNodeState, level: int) -> int:
+    """Secondary sort component: the node's group-id at ``level``.
+
+    Group-ids are positive integers uncorrelated with key order, so using
+    them as a tie-break keeps members of the same (finer) group adjacent in
+    the priority order without biasing which side of the median they land on.
+    """
+    group = state.group_id(level)
+    if isinstance(group, bool) or not isinstance(group, int):
+        return 0
+    return group
+
+
+# --------------------------------------------------------------------------- assignment
+def _assign(
+    graph: SkipGraph,
+    states: Mapping[Key, DSGNodeState],
+    members: List[Key],
+    order: Mapping[Key, Tuple[float, Key]],
+    median_pair: Tuple[float, Key],
+    level: int,
+    u: Key,
+    v: Key,
+    t: int,
+    amf_result: Optional[AMFResult],
+) -> Tuple[List[Key], List[Key], str, int]:
+    """Decide which members move to the 0- and 1-subgraph.
+
+    ``order`` maps every member to its ``(priority, key)`` pair and
+    ``median_pair`` is the approximate median of those pairs; the numeric
+    median (used by the Case 2 band test) is ``median_pair[0]``.
+
+    Returns ``(zero_list, one_list, case_label, extra_rounds)``.
+    """
+    median = median_pair[0]
+    if median >= 0:
+        zero, one = _split_by_order(members, order, median_pair, u, v)
+        # Case 1 records the is-dominating-group flags for this level.
+        for key in zero:
+            states[key].set_dominating(level, True)
+        for key in one:
+            states[key].set_dominating(level, False)
+        return zero, one, "positive", 0
+
+    straddled = find_straddled_group(
+        states=states, members=members, level=level - 1, median=median, t=t, exclude=(u, v)
+    )
+    if straddled is None:
+        zero, one = _split_by_order(members, order, median_pair, u, v)
+        return zero, one, "negative-clean", 0
+
+    # Case 2 proper: the distributed counts |g_s|, |L_low|, |L_high| cost one
+    # aggregation over the balanced skip list built by AMF (Appendix D).
+    extra_rounds = _count_rounds(amf_result, members)
+    gs = set(straddled)
+    size_gs = len(gs)
+    size_list = len(members)
+
+    if size_gs * 3 > 2 * size_list:  # |g_s| > 2/3 |l_d|
+        one = [key for key in members if key in gs and states[key].is_dominating(level)]
+        zero = [key for key in members if key not in set(one)]
+        if not one:
+            # No member of g_s carries a dominating flag (the group was never
+            # formed by a positive median).  Fall back to halving the group
+            # so the height bound of Lemma 5 still holds.
+            zero, one = _fallback_split(graph, members, gs, level, u, v)
+        return sorted(zero), sorted(one), "negative-split-dominating", extra_rounds
+
+    low = [key for key in members if order[key] < median_pair]
+    high = [key for key in members if order[key] >= median_pair]
+    if size_gs * 3 < size_list:  # |g_s| < 1/3 |l_d|
+        zero = [key for key in members if key not in gs and order[key] >= median_pair]
+        one = [key for key in members if key not in gs and order[key] < median_pair]
+        if len(high) < len(low):
+            zero.extend(straddled)
+        else:
+            one.extend(straddled)
+        return sorted(zero), sorted(one), "negative-small-gs", extra_rounds
+
+    # 1/3 |l_d| <= |g_s| <= 2/3 |l_d|
+    one = list(straddled)
+    zero = [key for key in members if key not in gs]
+    return sorted(zero), sorted(one), "negative-move-gs", extra_rounds
+
+
+def _split_by_order(
+    members: List[Key],
+    order: Mapping[Key, Tuple[float, Key]],
+    median_pair: Tuple[float, Key],
+    u: Key,
+    v: Key,
+) -> Tuple[List[Key], List[Key]]:
+    """Direct comparison split with a progress guarantee.
+
+    The paper's rule sends ``P(x) >= M`` to the 0-subgraph and the rest to
+    the 1-subgraph; with the (priority, key) order the comparison is strict
+    enough that both sides are non-empty except when the approximate median
+    happens to be the minimum, in which case the member holding it is
+    demoted (progress guarantee).
+    """
+    zero = [key for key in members if order[key] >= median_pair]
+    one = [key for key in members if order[key] < median_pair]
+    if not one:
+        demote = [key for key in members if order[key] == median_pair and key not in (u, v)]
+        if demote:
+            demote_set = set(demote)
+            zero = [key for key in members if key not in demote_set]
+            one = demote
+        else:
+            # Everyone is a communicating node or strictly above the median;
+            # the caller handles the {u, v} pair case before reaching here.
+            keep = [key for key in members if key in (u, v)]
+            rest = [key for key in members if key not in (u, v)]
+            half = len(rest) // 2
+            zero = keep + rest[:half]
+            one = rest[half:]
+    elif not zero:
+        # Degenerate case for P4-only lists (no communicating member).
+        promote = [key for key in members if order[key] == median_pair]
+        promote_set = set(promote)
+        zero = promote
+        one = [key for key in members if key not in promote_set]
+        if not one:
+            half = max(1, len(members) // 2)
+            zero, one = members[:half], members[half:]
+    return sorted(zero), sorted(one)
+
+
+def _fallback_split(
+    graph: SkipGraph,
+    members: List[Key],
+    gs: Set[Key],
+    level: int,
+    u: Key,
+    v: Key,
+) -> Tuple[List[Key], List[Key]]:
+    """Split a dominating group with no usable dominating flags (see _assign)."""
+    gs_members = [key for key in members if key in gs]
+    others = [key for key in members if key not in gs]
+    half = max(1, len(gs_members) // 2)
+    zero = others + gs_members[:half]
+    one = gs_members[half:]
+    if not one:
+        one = gs_members[-1:]
+        zero = [key for key in members if key not in set(one)]
+    return zero, one
+
+
+def _count_rounds(amf_result: Optional[AMFResult], members: Sequence[Key]) -> int:
+    """Rounds to compute |g_s|, |L_low|, |L_high| with the AMF skip list."""
+    if amf_result is not None and amf_result.skiplist is not None:
+        ones = {key: 1.0 for key in amf_result.skiplist.levels[0]}
+        return distributed_sum(amf_result.skiplist, ones).rounds
+    return max(1, math.ceil(math.log2(max(2, len(members)))))
+
+
+# --------------------------------------------------------------------------- dummies
+def _break_chains(
+    graph: SkipGraph,
+    members: List[Key],
+    zero_list: List[Key],
+    one_list: List[Key],
+    level: int,
+    a: int,
+    rng: random.Random,
+    u: Key,
+    v: Key,
+) -> List[Key]:
+    """Insert dummy nodes to break runs longer than ``a`` (Section IV-F).
+
+    A run of more than ``a`` consecutive members of the parent list moving to
+    the same sublist violates the a-balance property; a dummy node with the
+    sibling bit is inserted between the ``a``-th and ``a+1``-th node of the
+    run.  The dummy's key is chosen strictly between its neighbours so the
+    base-level order stays sorted; its membership vector is the parent-list
+    prefix plus the sibling bit (it never descends further and never
+    participates in transformations).  A dummy is never placed in a key
+    interval containing ``u`` or ``v``: the sibling sublist is where the
+    communicating pair lives, and a dummy keyed between them would deny them
+    the direct link the model requires.
+
+    The run detection walks the *actual* parent list — real members with
+    their freshly assigned bits plus any dummy node already living in that
+    list (whose bit, or absence of one, also affects the runs).
+    """
+    zero_set = set(zero_list)
+    one_set = set(one_list)
+    dummies: List[Key] = []
+    parent_prefix = graph.membership(members[0]).prefix(level - 1)
+    ordered = graph.list_members(level - 1, parent_prefix) if level >= 1 else sorted(members)
+    run_bit: Optional[int] = None
+    run_length = 0
+    for index, key in enumerate(ordered):
+        if key in zero_set:
+            bit: Optional[int] = 0
+        elif key in one_set:
+            bit = 1
+        else:
+            membership = graph.membership(key)
+            bit = membership.bit(level) if len(membership) >= level else None
+        if bit is None:
+            run_bit = None
+            run_length = 0
+            continue
+        if bit == run_bit:
+            run_length += 1
+        else:
+            run_bit = bit
+            run_length = 1
+        if run_length > a:
+            previous_key = ordered[index - 1]
+            sibling_bit = 1 - bit
+            if sibling_bit == 0 and set(zero_list) == {u, v}:
+                # The dummy would join the size-two sublist that realises the
+                # pair's direct link; if its key could land between u and v
+                # it would deny them that link, so the chain is left alone
+                # here (documented deviation, see DESIGN.md).
+                low_uv, high_uv = (u, v) if u < v else (v, u)
+                if not (key <= low_uv or previous_key >= high_uv):
+                    continue
+            dummy_key = _pick_dummy_key(graph, previous_key, key, rng)
+            if dummy_key is None:
+                continue
+            prefix = graph.membership(previous_key).prefix(level - 1)
+            membership = MembershipVector(prefix.bits + (1 - bit,))
+            graph.add_node(SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True))
+            dummies.append(dummy_key)
+            run_length = 1
+    return dummies
+
+
+def _pick_dummy_key(graph: SkipGraph, lower: Key, upper: Key, rng: random.Random) -> Optional[Key]:
+    """A fresh key strictly between ``lower`` and ``upper`` (float interpolation)."""
+    try:
+        low = float(lower)
+        high = float(upper)
+    except (TypeError, ValueError):
+        return None
+    if not low < high:
+        return None
+    for _ in range(16):
+        fraction = 0.25 + 0.5 * rng.random()
+        candidate = low + (high - low) * fraction
+        if candidate != low and candidate != high and not graph.has_node(candidate):
+            return candidate
+    return None

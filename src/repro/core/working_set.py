@@ -1,0 +1,164 @@
+"""Working set machinery (paper, Section III).
+
+Three definitions from the paper are implemented here:
+
+* **Working set number** ``T_i(σ_i)`` for a request ``σ_i = (u, v)``:
+  build the communication graph ``G`` over the requests issued since the
+  previous time ``u`` and ``v`` communicated (inclusive of time ``i``), and
+  count the distinct nodes reachable in ``G`` from ``u`` or ``v``.  If the
+  pair communicates for the first time, ``T_i(σ_i) = n`` by definition.
+
+* **Working set property** for a pair ``(x, y)`` at time ``i``:
+  ``d_S(x, y) <= log T_i(x, y)`` (up to the constant the analysis allows).
+
+* **Working set bound** ``WS(σ) = Σ_i log(T_i(σ_i))`` — the lower bound on
+  the amortized routing cost of *any* algorithm conforming to the paper's
+  self-adjusting model (Theorem 1).
+
+The :class:`CommunicationHistory` incrementally maintains the request log so
+that DSG simulations can query working set numbers per request without
+re-scanning the full history each time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CommunicationHistory",
+    "working_set_number",
+    "working_set_bound",
+    "working_set_numbers",
+]
+
+Node = Hashable
+Request = Tuple[Node, Node]
+
+
+def _reachable(adjacency: Dict[Node, Set[Node]], sources: Sequence[Node]) -> Set[Node]:
+    """Nodes reachable from any of ``sources`` in an undirected graph."""
+    seen: Set[Node] = set()
+    stack: List[Node] = [node for node in sources if node in adjacency]
+    seen.update(node for node in sources if node in adjacency)
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen
+
+
+def working_set_number(history: Sequence[Request], index: int, total_nodes: int) -> int:
+    """Working set number ``T_index(σ_index)`` for the request at ``index``.
+
+    Parameters
+    ----------
+    history:
+        The full request sequence; ``history[index]`` is the request whose
+        working set number is computed.
+    index:
+        Position of the request in ``history`` (0-based).
+    total_nodes:
+        ``n``, returned for first-time pairs as the definition requires.
+    """
+    if not 0 <= index < len(history):
+        raise IndexError("request index out of range")
+    u, v = history[index]
+    pair = frozenset((u, v))
+
+    start: Optional[int] = None
+    for t in range(index - 1, -1, -1):
+        if frozenset(history[t]) == pair:
+            start = t
+            break
+    if start is None:
+        return total_nodes
+
+    adjacency: Dict[Node, Set[Node]] = {}
+    for t in range(start, index + 1):
+        x, y = history[t]
+        adjacency.setdefault(x, set()).add(y)
+        adjacency.setdefault(y, set()).add(x)
+    return len(_reachable(adjacency, [u, v]))
+
+
+def working_set_numbers(history: Sequence[Request], total_nodes: int) -> List[int]:
+    """Working set numbers for every request of ``history`` (convenience)."""
+    tracker = CommunicationHistory(total_nodes)
+    numbers = []
+    for u, v in history:
+        numbers.append(tracker.record(u, v))
+    return numbers
+
+
+def working_set_bound(history: Sequence[Request], total_nodes: int, base: float = 2.0) -> float:
+    """``WS(σ) = Σ_i log(T_i(σ_i))`` (Theorem 1's lower bound), log base 2.
+
+    Working set numbers of 1 contribute 0; the paper's ``log`` is taken to
+    the base ``base`` (2 unless stated otherwise).
+    """
+    total = 0.0
+    for number in working_set_numbers(history, total_nodes):
+        total += math.log(max(number, 1), base)
+    return total
+
+
+@dataclass
+class CommunicationHistory:
+    """Incrementally maintained request log with working-set queries.
+
+    The naive definition requires, per request, a scan back to the previous
+    occurrence of the pair and a reachability computation over that window.
+    This class keeps the full log and the last occurrence index of every
+    pair, so :meth:`record` only pays for the window scan (which is what the
+    definition inherently requires).
+    """
+
+    total_nodes: int
+    requests: List[Request] = field(default_factory=list)
+    _last_seen: Dict[frozenset, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def record(self, u: Node, v: Node) -> int:
+        """Append the request ``(u, v)`` and return its working set number."""
+        pair = frozenset((u, v))
+        previous = self._last_seen.get(pair)
+        index = len(self.requests)
+        self.requests.append((u, v))
+        self._last_seen[pair] = index
+        if previous is None:
+            return self.total_nodes
+
+        adjacency: Dict[Node, Set[Node]] = {}
+        for t in range(previous, index + 1):
+            x, y = self.requests[t]
+            adjacency.setdefault(x, set()).add(y)
+            adjacency.setdefault(y, set()).add(x)
+        return len(_reachable(adjacency, [u, v]))
+
+    def peek(self, u: Node, v: Node) -> int:
+        """Working set number the pair *would* have if it communicated now."""
+        pair = frozenset((u, v))
+        previous = self._last_seen.get(pair)
+        if previous is None:
+            return self.total_nodes
+        adjacency: Dict[Node, Set[Node]] = {}
+        for t in range(previous, len(self.requests)):
+            x, y = self.requests[t]
+            adjacency.setdefault(x, set()).add(y)
+            adjacency.setdefault(y, set()).add(x)
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+        return len(_reachable(adjacency, [u, v]))
+
+    def working_set_bound(self, base: float = 2.0) -> float:
+        """``WS(σ)`` of everything recorded so far."""
+        return working_set_bound(self.requests, self.total_nodes, base=base)
+
+    def last_time_of_pair(self, u: Node, v: Node) -> Optional[int]:
+        return self._last_seen.get(frozenset((u, v)))

@@ -1,0 +1,49 @@
+"""Message-level protocol implementations on the CONGEST simulator.
+
+The structural DSG engine (:mod:`repro.core`) charges round costs using
+closed-form accounting.  The protocols here execute the primitives that
+dominate those costs as genuine message-passing programs on
+:class:`repro.simulation.Simulator`, which serves two purposes:
+
+* **CONGEST conformance** (experiment E11): every message the protocols send
+  is measured in bits and checked against ``O(log n)``, and the per-link
+  per-round constraint is enforced by the simulator;
+* **calibration**: the rounds the protocols take are compared against the
+  rounds the structural engine charges for the same primitive (routing,
+  broadcast, aggregation, AMF), so the cost model used in the experiments is
+  anchored to an executable artefact.
+
+Protocols
+---------
+``run_routing_protocol``
+    Standard skip graph routing, one greedy hop per round (Appendix B).
+``run_list_broadcast``
+    Broadcast along one linked list (the transformation notification).
+``run_sum_protocol``
+    Convergecast + broadcast over the balanced skip list (Appendix D).
+``run_amf_protocol``
+    The gather-sample-decide pipeline of AMF (Algorithm 2).
+
+The aggregation protocols communicate over the balanced skip list's
+*segment* links (each node talks to the promoted node owning its segment).
+In a real deployment those exchanges are relayed over at most ``2a``
+consecutive level links; the relay cost is part of the structural
+accounting, while the message-level version uses a direct logical link per
+segment for clarity.  This simplification is documented in DESIGN.md.
+"""
+
+from repro.distributed.routing_protocol import RoutingProtocolResult, run_routing_protocol
+from repro.distributed.broadcast_protocol import BroadcastResult, run_list_broadcast
+from repro.distributed.sum_protocol import SumProtocolResult, run_sum_protocol
+from repro.distributed.amf_protocol import AMFProtocolResult, run_amf_protocol
+
+__all__ = [
+    "AMFProtocolResult",
+    "BroadcastResult",
+    "RoutingProtocolResult",
+    "SumProtocolResult",
+    "run_amf_protocol",
+    "run_list_broadcast",
+    "run_routing_protocol",
+    "run_sum_protocol",
+]

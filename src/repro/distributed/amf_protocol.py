@@ -1,0 +1,238 @@
+"""Message-level AMF (Algorithm 2) over the balanced skip list's segment tree.
+
+Every node starts with its own value.  Values travel towards the root one
+per message per round (CONGEST): a node streams its current entries to its
+parent, ends with a ``flush`` marker, and a parent only starts streaming
+upward after every child has flushed.  From the sampling level onward a
+parent sorts what it received, keeps a uniform sample of ``a * h`` entries
+and folds the discarded mass into rank weights, exactly as the structural
+implementation in :mod:`repro.core.amf` does.  The root picks the entry
+whose accounted rank is closest to the middle and broadcasts it back down.
+
+Each ``entry`` message carries a value and a weight (two words); ``flush``
+and ``median`` carry one word — all well within the CONGEST budget, which
+experiment E11 verifies by inspecting the recorded message sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.skiplist.balanced import BalancedSkipList
+from repro.distributed.sum_protocol import segment_tree
+
+__all__ = ["AMFProtocolResult", "run_amf_protocol"]
+
+Key = Hashable
+Entry = Tuple[float, int]  # (value, weight of discarded values at or below it)
+
+
+@dataclass
+class AMFProtocolResult:
+    """Outcome of one message-level AMF execution."""
+
+    median: float
+    rounds: int
+    messages: int
+    max_message_bits: int
+    congestion_violations: int
+    n: int
+
+    def rank_interval(self, values: List[float]) -> Tuple[int, int]:
+        below = sum(1 for value in values if value < self.median)
+        not_above = sum(1 for value in values if value <= self.median)
+        return below + 1, max(not_above, below + 1)
+
+    def satisfies_lemma1(self, values: List[float], a: int) -> bool:
+        low, high = self.rank_interval(values)
+        slack = self.n / (2 * a)
+        return not (high < self.n / 2 - slack or low > self.n / 2 + slack)
+
+
+def _sample(entries: List[Entry], sample_size: int) -> List[Entry]:
+    ordered = sorted(entries)
+    if len(ordered) <= sample_size:
+        return ordered
+    last = len(ordered) - 1
+    kept_indices = sorted({round(i * last / (sample_size - 1)) for i in range(sample_size)})
+    kept: List[Entry] = []
+    previous = -1
+    for index in kept_indices:
+        value, weight = ordered[index]
+        extra = sum(1 + w for _, w in ordered[previous + 1 : index])
+        kept.append((value, weight + extra))
+        previous = index
+    return kept
+
+
+class _AMFProcess(NodeProcess):
+    def __init__(
+        self,
+        key: Key,
+        value: float,
+        parent: Optional[Key],
+        children: List[Key],
+        sample: bool,
+        sample_size: int,
+    ) -> None:
+        super().__init__(key)
+        self.parent = parent
+        self.children = list(children)
+        self.pending = set(children)
+        self.entries: List[Entry] = [(float(value), 0)]
+        self.sample = sample
+        self.sample_size = sample_size
+        self.outbox: List[Entry] = []
+        self.flushed = False
+        self.median: Optional[float] = None
+        self.done = False
+
+    def memory_words(self) -> int:
+        return 4 + 2 * max(len(self.entries), len(self.outbox)) + len(self.children)
+
+    # The streaming discipline: once all children flushed, move the local
+    # entries (sampled if required) to the outbox and send one per round.
+    def _start_streaming_if_ready(self) -> None:
+        if self.pending or self.outbox or self.flushed:
+            return
+        entries = _sample(self.entries, self.sample_size) if self.sample else sorted(self.entries)
+        if self.parent is None:
+            self.median = _pick_median(entries)
+            self.result = self.median
+        else:
+            self.outbox = list(entries)
+
+    def _stream_one(self, ctx: RoundContext) -> None:
+        if self.parent is None or self.flushed:
+            return
+        if self.outbox:
+            value, weight = self.outbox.pop(0)
+            ctx.send(self.parent, "entry", [value, weight])
+        elif not self.pending and not self.outbox and self.entries is not None and not self.flushed:
+            # Everything sent: emit the flush marker exactly once.
+            if self._ready_to_flush:
+                ctx.send(self.parent, "flush", None)
+                self.flushed = True
+
+    @property
+    def _ready_to_flush(self) -> bool:
+        return not self.pending and not self.outbox and self._started
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._started = False
+        if not self.pending:
+            self._started = True
+            self._start_streaming_if_ready()
+            self._stream_one(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.kind == "entry":
+                value, weight = message.payload
+                self.entries.append((float(value), int(weight)))
+            elif message.kind == "flush":
+                self.pending.discard(message.sender)
+            elif message.kind == "median":
+                self.median = message.payload
+                self.result = self.median
+        if not self.pending and not self._started:
+            self._started = True
+            self._start_streaming_if_ready()
+        self._stream_one(ctx)
+
+        if self.parent is None and self.median is not None and not self.done:
+            for child in self.children:
+                ctx.send(child, "median", self.median)
+            self.done = True
+            return
+        if self.median is not None and not self.done:
+            for child in self.children:
+                ctx.send(child, "median", self.median)
+            self.done = True
+
+
+def _pick_median(entries: List[Entry]) -> float:
+    ordered = sorted(entries)
+    total = sum(1 + weight for _, weight in ordered)
+    target = total / 2
+    best_value = ordered[0][0]
+    best_distance = math.inf
+    cumulative = 0
+    for value, weight in ordered:
+        cumulative += weight + 1
+        distance = abs(cumulative - target)
+        if distance < best_distance:
+            best_distance = distance
+            best_value = value
+    return best_value
+
+
+def run_amf_protocol(
+    values: Mapping[Key, float],
+    a: int = 4,
+    seed: Optional[int] = None,
+) -> AMFProtocolResult:
+    """Run the message-level AMF over ``values`` (list order = iteration order)."""
+    items = list(values.keys())
+    if len(items) < 2:
+        raise ValueError("the protocol needs at least two values")
+    if a < 2:
+        raise ValueError("the balance parameter a must be at least 2")
+
+    from repro.simulation.rng import make_rng
+
+    skiplist = BalancedSkipList(items, a=a, rng=make_rng(seed))
+    h = skiplist.height - 1
+    sample_size = max(2, a * max(h, 1))
+    base = max(a / 2, 1.5)
+    sampling_start = math.ceil(math.log(max(h, 2), base)) + 1
+
+    parents = segment_tree(skiplist)
+    children: Dict[Key, List[Key]] = {item: [] for item in items}
+    depth: Dict[Key, int] = {}
+    for level in range(skiplist.height):
+        for item in skiplist.levels[level]:
+            depth[item] = level
+    for child, parent in parents.items():
+        if parent is not None:
+            children[parent].append(child)
+
+    network = Network()
+    for item in items:
+        network.add_node(item)
+    for child, parent in parents.items():
+        if parent is not None:
+            network.add_link(child, parent, label="segment")
+
+    simulator = Simulator(
+        network,
+        SimulatorConfig(seed=seed, max_rounds=50 * skiplist.height + 20 * len(items) + 100),
+    )
+    processes = {}
+    for item in items:
+        # A node samples when it aggregates at or above the sampling level.
+        aggregates_at = depth.get(item, 0) + 1
+        process = _AMFProcess(
+            key=item,
+            value=values[item],
+            parent=parents[item],
+            children=children[item],
+            sample=aggregates_at >= sampling_start,
+            sample_size=sample_size,
+        )
+        processes[item] = process
+        simulator.add_process(process)
+    metrics = simulator.run()
+
+    median = processes[skiplist.root].median
+    return AMFProtocolResult(
+        median=float(median if median is not None else 0.0),
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        max_message_bits=metrics.max_message_bits,
+        congestion_violations=metrics.congestion_violations,
+        n=len(items),
+    )

@@ -1,0 +1,103 @@
+"""Broadcast along a linked list (the DSG transformation notification).
+
+Upon a request, ``u`` and ``v`` broadcast a transformation notification to
+every node of ``l_alpha`` (Algorithm 1, step 1).  The protocol below floods
+the notification along the list links: the initiator sends to both its
+neighbours, every receiver forwards away from the direction it heard from.
+One hop per round; the message carries the initiator and a constant number
+of words per level of payload (the structural engine accounts for the
+``O(H_t)``-word payload by charging extra rounds, since CONGEST only allows
+``O(log n)`` bits per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+
+__all__ = ["BroadcastResult", "run_list_broadcast"]
+
+Key = Hashable
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one list broadcast."""
+
+    initiator: Key
+    reached: List[Key]
+    rounds: int
+    messages: int
+    max_message_bits: int
+    congestion_violations: int
+
+    @property
+    def coverage(self) -> int:
+        return len(self.reached)
+
+
+class _BroadcastProcess(NodeProcess):
+    def __init__(self, key: Key, left: Optional[Key], right: Optional[Key], is_initiator: bool) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+        self.is_initiator = is_initiator
+        self.received = is_initiator
+        self.done = not is_initiator
+
+    def memory_words(self) -> int:
+        return 4
+
+    def on_start(self, ctx: RoundContext) -> None:
+        if not self.is_initiator:
+            return
+        for neighbor in (self.left, self.right):
+            if neighbor is not None:
+                ctx.send(neighbor, "notify", {"from": self.node_id})
+        self.result = "notified"
+        self.done = True
+
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.kind != "notify" or self.received:
+                continue
+            self.received = True
+            self.result = "notified"
+            sender = message.sender
+            forward = self.right if sender == self.left else self.left
+            if forward is not None:
+                ctx.send(forward, "notify", {"from": self.node_id})
+        self.done = True
+
+
+def run_list_broadcast(members: Sequence[Key], initiator: Key, seed: Optional[int] = None) -> BroadcastResult:
+    """Broadcast from ``initiator`` to every member of the (ordered) list."""
+    members = list(members)
+    if initiator not in members:
+        raise ValueError("the initiator must be a member of the list")
+    network = Network()
+    for key in members:
+        network.add_node(key)
+    for left, right in zip(members, members[1:]):
+        network.add_link(left, right, label="list")
+
+    simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=4 * len(members) + 10))
+    processes = {}
+    for index, key in enumerate(members):
+        left = members[index - 1] if index > 0 else None
+        right = members[index + 1] if index + 1 < len(members) else None
+        process = _BroadcastProcess(key, left, right, is_initiator=(key == initiator))
+        processes[key] = process
+        simulator.add_process(process)
+    metrics = simulator.run()
+    reached = [key for key, process in processes.items() if process.received]
+    return BroadcastResult(
+        initiator=initiator,
+        reached=reached,
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        max_message_bits=metrics.max_message_bits,
+        congestion_violations=metrics.congestion_violations,
+    )

@@ -1,0 +1,164 @@
+"""Message-level skip graph routing (Appendix B) on the CONGEST simulator.
+
+Every node process knows only its own key, its membership vector and its
+left/right neighbours at each level (``O(log n)`` words of local state, as
+the model requires).  The source starts at its top level and forwards a
+``route`` message greedily towards the destination, one hop per round; each
+hop carries only the destination key and the current level — a constant
+number of words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.skipgraph.node import Key
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = ["RoutingProtocolResult", "run_routing_protocol"]
+
+
+@dataclass
+class RoutingProtocolResult:
+    """Outcome of one message-level routing execution."""
+
+    source: Key
+    destination: Key
+    path: List[Key]
+    rounds: int
+    messages: int
+    max_message_bits: int
+    congestion_violations: int
+
+    @property
+    def distance(self) -> int:
+        return max(0, len(self.path) - 2)
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class _NeighborTable:
+    """Per-node neighbour table extracted from a skip graph snapshot."""
+
+    def __init__(self, graph: SkipGraph, key: Key) -> None:
+        self.key = key
+        self.levels: Dict[int, Tuple[Optional[Key], Optional[Key]]] = {}
+        top = graph.singleton_level(key)
+        for level in range(0, top + 1):
+            self.levels[level] = graph.neighbors(key, level)
+        self.top_level = top
+
+    def next_hop(self, destination: Key, level: int) -> Tuple[Optional[Key], int]:
+        """Greedy next hop and the level it uses, or ``(None, -1)`` if stuck."""
+        ascending = destination > self.key
+        current_level = min(level, self.top_level)
+        while current_level >= 0:
+            left, right = self.levels.get(current_level, (None, None))
+            candidate = right if ascending else left
+            if candidate is not None:
+                overshoots = candidate > destination if ascending else candidate < destination
+                if not overshoots:
+                    return candidate, current_level
+            current_level -= 1
+        return None, -1
+
+
+class _RouterProcess(NodeProcess):
+    """Forwards ``route`` messages one greedy hop per round."""
+
+    def __init__(self, key: Key, table: _NeighborTable, destination: Key, is_source: bool) -> None:
+        super().__init__(key)
+        self.table = table
+        self.destination = destination
+        self.is_source = is_source
+        self.done = not is_source
+
+    def memory_words(self) -> int:
+        return 2 * len(self.table.levels) + 3
+
+    def on_start(self, ctx: RoundContext) -> None:
+        if not self.is_source:
+            return
+        if self.node_id == self.destination:
+            self.result = [self.node_id]
+            self.done = True
+            return
+        self._forward(ctx, level=self.table.top_level)
+        self.done = True
+
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.kind != "route":
+                continue
+            level = message.payload["level"]
+            if self.node_id == self.destination:
+                self.result = "reached"
+                self.done = True
+                continue
+            self._forward(ctx, level=level)
+            self.done = True
+
+    def _forward(self, ctx: RoundContext, level: int) -> None:
+        next_hop, used_level = self.table.next_hop(self.destination, level)
+        if next_hop is None:
+            self.result = "stuck"
+            return
+        ctx.send(next_hop, "route", {"destination": self.destination, "level": used_level})
+        self.result = ("forwarded", next_hop, used_level)
+
+
+def _skip_graph_network(graph: SkipGraph) -> Network:
+    """Network with one link per pair of level-adjacent skip graph nodes."""
+    network = Network()
+    for key in graph.keys:
+        network.add_node(key)
+    for key in graph.keys:
+        top = graph.singleton_level(key)
+        for level in range(0, top + 1):
+            left, right = graph.neighbors(key, level)
+            for neighbor in (left, right):
+                if neighbor is not None and not network.has_link(key, neighbor):
+                    network.add_link(key, neighbor, label=f"level{level}")
+    return network
+
+
+def run_routing_protocol(graph: SkipGraph, source: Key, destination: Key,
+                         seed: Optional[int] = None) -> RoutingProtocolResult:
+    """Execute the routing protocol and return its measured costs."""
+    network = _skip_graph_network(graph)
+    simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=10 * len(graph) + 20))
+    processes = {}
+    for key in graph.keys:
+        table = _NeighborTable(graph, key)
+        process = _RouterProcess(key, table, destination, is_source=(key == source))
+        processes[key] = process
+        simulator.add_process(process)
+    metrics = simulator.run()
+
+    # Reconstruct the path from the per-node forwarding decisions.
+    path = [source]
+    current = source
+    visited = {source}
+    while current != destination:
+        result = processes[current].result
+        if not (isinstance(result, tuple) and result[0] == "forwarded"):
+            break
+        current = result[1]
+        if current in visited:  # pragma: no cover - defensive against cycles
+            break
+        visited.add(current)
+        path.append(current)
+
+    return RoutingProtocolResult(
+        source=source,
+        destination=destination,
+        path=path,
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        max_message_bits=metrics.max_message_bits,
+        congestion_violations=metrics.congestion_violations,
+    )

@@ -1,0 +1,146 @@
+"""Distributed sum over a balanced skip list, as a message-passing protocol.
+
+Appendix D: each node forwards its number to the nearest neighbour that
+stepped up to the next level; receivers add and forward upward recursively;
+the root broadcasts the total back down.  The protocol runs over the
+*segment tree* induced by a :class:`repro.skiplist.BalancedSkipList` — every
+node's parent is the promoted node owning its segment at the lowest level
+where the node itself stops being promoted.  Each message carries one
+partial sum (one word).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.skiplist.balanced import BalancedSkipList
+
+__all__ = ["SumProtocolResult", "run_sum_protocol", "segment_tree"]
+
+Key = Hashable
+
+
+@dataclass
+class SumProtocolResult:
+    """Outcome of one aggregation."""
+
+    total: float
+    rounds: int
+    messages: int
+    max_message_bits: int
+    congestion_violations: int
+    received_by_all: bool
+
+
+def segment_tree(skiplist: BalancedSkipList) -> Dict[Key, Optional[Key]]:
+    """Parent pointers of the aggregation tree induced by the skip list.
+
+    A node's parent is the owner of its segment at the highest level the
+    node itself reaches; the root (left-most node) has parent ``None``.
+    The tree has depth ``height - 1`` and fan-in at most ``2a``.
+    """
+    parents: Dict[Key, Optional[Key]] = {item: None for item in skiplist.levels[0]}
+    for level in range(skiplist.height - 1):
+        promoted_next = set(skiplist.levels[level + 1])
+        for owner, members in skiplist.segments(level):
+            for member in members:
+                if member not in promoted_next:
+                    parents[member] = owner
+    parents[skiplist.root] = None
+    return parents
+
+
+class _SumProcess(NodeProcess):
+    def __init__(self, key: Key, value: float, parent: Optional[Key], children: List[Key]) -> None:
+        super().__init__(key)
+        self.value = float(value)
+        self.parent = parent
+        self.children = list(children)
+        self.pending = set(children)
+        self.accumulated = float(value)
+        self.total: Optional[float] = None
+        self.sent_up = False
+        self.done = False
+
+    def memory_words(self) -> int:
+        return 5 + len(self.children)
+
+    def _maybe_send_up(self, ctx: RoundContext) -> None:
+        if self.pending or self.sent_up:
+            return
+        if self.parent is None:
+            self.total = self.accumulated
+            self.result = self.total
+            for child in self.children:
+                ctx.send(child, "total", self.total)
+            self.done = True
+        else:
+            ctx.send(self.parent, "partial", self.accumulated)
+            self.sent_up = True
+
+    def on_start(self, ctx: RoundContext) -> None:
+        self._maybe_send_up(ctx)
+
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            if message.kind == "partial":
+                self.accumulated += message.payload
+                self.pending.discard(message.sender)
+            elif message.kind == "total":
+                self.total = message.payload
+                self.result = self.total
+                for child in self.children:
+                    ctx.send(child, "total", self.total)
+                self.done = True
+        self._maybe_send_up(ctx)
+        if self.sent_up and self.total is None:
+            # Waiting for the broadcast of the total.
+            self.done = False
+        if self.total is not None:
+            self.done = True
+
+
+def run_sum_protocol(
+    skiplist: BalancedSkipList,
+    values: Mapping[Key, float],
+    seed: Optional[int] = None,
+) -> SumProtocolResult:
+    """Aggregate ``values`` over the skip list's segment tree."""
+    base = skiplist.levels[0]
+    missing = [item for item in base if item not in values]
+    if missing:
+        raise ValueError(f"missing values for items: {missing[:5]!r}")
+
+    parents = segment_tree(skiplist)
+    children: Dict[Key, List[Key]] = {item: [] for item in base}
+    for child, parent in parents.items():
+        if parent is not None:
+            children[parent].append(child)
+
+    network = Network()
+    for item in base:
+        network.add_node(item)
+    for child, parent in parents.items():
+        if parent is not None:
+            network.add_link(child, parent, label="segment")
+
+    simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=20 * skiplist.height + 10 * len(base)))
+    processes = {}
+    for item in base:
+        process = _SumProcess(item, values[item], parents[item], children[item])
+        processes[item] = process
+        simulator.add_process(process)
+    metrics = simulator.run()
+
+    root_total = processes[skiplist.root].total
+    received_by_all = all(process.total == root_total for process in processes.values())
+    return SumProtocolResult(
+        total=float(root_total if root_total is not None else 0.0),
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        max_message_bits=metrics.max_message_bits,
+        congestion_violations=metrics.congestion_violations,
+        received_by_all=received_by_all,
+    )

@@ -1,0 +1,77 @@
+"""E1 — Fig. 1: skip graph <-> binary tree of linked lists.
+
+Rebuilds the paper's 6-node example (nodes A, G, J, M, R, W over 3 shown
+levels), prints every linked list and the equivalent binary-tree view, and
+verifies that the mapping is one-to-one and the height logarithmic.  Also
+reports the same structural statistics for larger random and balanced skip
+graphs so the ``O(log n)`` height claim is exercised beyond the toy example.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult
+from repro.simulation.rng import make_rng
+from repro.skipgraph import (
+    build_balanced_skip_graph,
+    build_skip_graph,
+    build_skip_graph_from_membership,
+    tree_view,
+)
+
+__all__ = ["run"]
+
+FIG1_MEMBERSHIP = {
+    "A": "00", "J": "00", "M": "01",
+    "G": "10", "W": "10", "R": "11",
+}
+
+
+def run(sizes=(16, 64, 256), seed: Optional[int] = None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Skip graph structure and binary-tree view (Fig. 1)",
+        parameters={"sizes": tuple(sizes), "seed": seed},
+    )
+
+    # --- the exact Fig. 1 example ------------------------------------------
+    graph = build_skip_graph_from_membership(FIG1_MEMBERSHIP)
+    root = tree_view(graph)
+    fig1 = Table(title="Fig. 1 example: linked lists per level", columns=["level", "prefix", "members"])
+    for node in root.all_lists():
+        fig1.add_row(node.level, node.prefix_string, ", ".join(map(str, node.keys)))
+    result.tables.append(fig1)
+
+    result.checks["fig1_level1_split"] = (
+        root.zero_child.keys == ["A", "J", "M"] and root.one_child.keys == ["G", "R", "W"]
+    )
+    result.checks["fig1_level2_lists"] = (
+        root.zero_child.zero_child.keys == ["A", "J"]
+        and root.zero_child.one_child.keys == ["M"]
+        and root.one_child.zero_child.keys == ["G", "W"]
+        and root.one_child.one_child.keys == ["R"]
+    )
+    result.checks["fig1_tree_covers_all_nodes"] = sorted(root.keys) == sorted(FIG1_MEMBERSHIP)
+
+    # --- height scaling ------------------------------------------------------
+    heights = Table(
+        title="Skip graph heights vs n",
+        columns=["n", "balanced height", "ceil(log2 n)+1", "random height", "3*ceil(log2 n)+2"],
+    )
+    rng = make_rng(seed)
+    all_within = True
+    for n in sizes:
+        balanced = build_balanced_skip_graph(range(1, n + 1))
+        random_graph = build_skip_graph(range(1, n + 1), rng=rng)
+        balanced_bound = math.ceil(math.log2(n)) + 1
+        random_bound = 3 * math.ceil(math.log2(n)) + 2
+        heights.add_row(n, balanced.height(), balanced_bound, random_graph.height(), random_bound)
+        all_within &= balanced.height() <= balanced_bound and random_graph.height() <= random_bound
+        tree = tree_view(balanced)
+        all_within &= tree.depth() == balanced.height()
+    result.tables.append(heights)
+    result.checks["heights_logarithmic"] = all_within
+    return result

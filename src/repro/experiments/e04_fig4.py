@@ -1,0 +1,84 @@
+"""E4 — Fig. 4: the S8 -> S9 transformation example.
+
+Rebuilds the 10-node skip graph S8 with the groups and timestamps shown in
+Fig. 4(b), serves the (U, V) request of time 8, and checks the structural
+properties the paper's walk-through derives for S9 (Fig. 4(c)):
+
+* the priorities computed by P1/P2 are exactly the values the paper lists
+  (P(U)=P(V)=inf, P(E)=5, P(B)=P(G)=P(D)=2),
+* the merged group {U, V, E, B, G, D} moves to the 0-subgraph at level 1 and
+  {F, I, H, J} stays together in the 1-subgraph,
+* U and V end up directly linked and stamped with time 8,
+* the merged group carries U's identifier at level 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tables import Table
+from repro.core.priorities import COMMUNICATING_PRIORITY, compute_priorities
+from repro.experiments.base import ExperimentResult
+from repro.workloads.paper_examples import FIG4_KEYS, fig4_setup
+
+__all__ = ["run"]
+
+
+def run(seed: Optional[int] = 8) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Fig. 4 transformation (S8 -> S9)",
+        parameters={"seed": seed},
+    )
+    K = FIG4_KEYS
+    letters = {value: letter for letter, value in K.items()}
+
+    dsg = fig4_setup(seed=seed)
+    members = dsg.graph.keys
+    priorities = compute_priorities(
+        dsg.states, members, u=K["U"], v=K["V"], alpha=0, t=8, height=dsg.height()
+    )
+    priority_table = Table(title="Priorities at t=8 (rules P1-P3)", columns=["node", "priority"])
+    for key in sorted(priorities, key=lambda k: letters[k]):
+        value = priorities[key]
+        priority_table.add_row(letters[key], "inf" if value == COMMUNICATING_PRIORITY else value)
+    result.tables.append(priority_table)
+
+    expected = {"U": COMMUNICATING_PRIORITY, "V": COMMUNICATING_PRIORITY, "E": 5.0, "B": 2.0, "G": 2.0, "D": 2.0}
+    result.checks["paper_priorities_match"] = all(
+        priorities[K[letter]] == value for letter, value in expected.items()
+    )
+    result.checks["other_groups_negative"] = all(
+        priorities[K[letter]] < 0 for letter in ("F", "I", "H", "J")
+    )
+
+    request_result = dsg.request(K["U"], K["V"])
+    zero_side = sorted(
+        letters[k] for k in dsg.graph.list_of(K["U"], 1) if not dsg.graph.node(k).is_dummy
+    )
+    one_side = sorted(
+        letters[k] for k in dsg.graph.list_of(K["H"], 1) if not dsg.graph.node(k).is_dummy
+    )
+    outcome = Table(title="S9 level-1 split", columns=["subgraph", "members"])
+    outcome.add_row("0-subgraph", ", ".join(zero_side))
+    outcome.add_row("1-subgraph", ", ".join(one_side))
+    result.tables.append(outcome)
+
+    result.checks["merged_group_moves_to_0_subgraph"] = zero_side == sorted(["U", "V", "E", "B", "G", "D"])
+    result.checks["non_communicating_groups_stay_together"] = one_side == sorted(["F", "I", "H", "J"])
+    result.checks["pair_directly_linked"] = dsg.are_adjacent(K["U"], K["V"])
+    result.checks["pair_stamped_with_t8"] = (
+        dsg.state(K["U"]).timestamp(request_result.d_prime) == 8
+        and dsg.state(K["V"]).timestamp(request_result.d_prime) == 8
+    )
+    result.checks["merged_group_id_is_u"] = all(
+        dsg.state(K[letter]).group_id(1) == dsg.state(K["U"]).uid
+        for letter in ("U", "V", "E", "B", "G", "D")
+    )
+
+    timestamps = Table(title="Timestamps after the request (levels 0-3)", columns=["node", "T0", "T1", "T2", "T3"])
+    for letter in sorted(K):
+        state = dsg.state(K[letter])
+        timestamps.add_row(letter, state.timestamp(0), state.timestamp(1), state.timestamp(2), state.timestamp(3))
+    result.tables.append(timestamps)
+    return result

@@ -1,0 +1,68 @@
+"""E7 — Lemmas 4-5: height bounds under continuous adjustment.
+
+Runs DSG under uniform (worst case for locality) and skewed traffic and
+tracks, after every request:
+
+* the total height of the skip graph (Lemma 5 bounds the post-transformation
+  height by ``log_{3/2} n``),
+* the level at which the communicating pair obtained its direct link
+  (Lemma 4 bounds it by ``log_{2a/(a+1)} n``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analysis.statistics import describe
+from repro.analysis.tables import Table
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.experiments.base import ExperimentResult
+from repro.workloads import generate_workload
+
+__all__ = ["run"]
+
+
+def run(n: int = 64, length: int = 200, a: int = 4, seed: Optional[int] = 3) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Height bounds under adjustment (Lemmas 4-5)",
+        parameters={"n": n, "length": length, "a": a, "seed": seed},
+    )
+    lemma5_bound = math.log(n, 1.5) + 1
+    lemma4_bound = math.log(n, (2 * a) / (a + 1)) + 1
+
+    table = Table(
+        title="Observed heights and direct-link levels",
+        columns=["workload", "max height", "lemma 5 bound", "max link level", "lemma 4 bound"],
+    )
+    heights_ok = True
+    link_ok = True
+    for name in ("uniform", "temporal", "hot-pairs"):
+        keys = list(range(1, n + 1))
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed, a=a))
+        requests = generate_workload(name, keys, length, seed=seed)
+        max_height = 0
+        max_link_level = 0
+        for u, v in requests:
+            request_result = dsg.request(u, v)
+            max_height = max(max_height, request_result.height_after)
+            max_link_level = max(max_link_level, request_result.d_prime)
+        table.add_row(name, max_height, round(lemma5_bound, 2), max_link_level, round(lemma4_bound, 2))
+        heights_ok &= max_height <= lemma5_bound + 1
+        link_ok &= max_link_level <= lemma4_bound + 1
+    result.tables.append(table)
+    result.checks["lemma5_height_bound"] = heights_ok
+    result.checks["lemma4_link_level_bound"] = link_ok
+
+    # Height trajectory statistics for the uniform run (most stressful case).
+    keys = list(range(1, n + 1))
+    dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed, a=a))
+    heights = [dsg.request(u, v).height_after for u, v in generate_workload("uniform", keys, length, seed=seed)]
+    stats = describe(heights)
+    trajectory = Table(title="Height trajectory (uniform workload)", columns=["statistic", "value"])
+    for key in ("mean", "median", "p95", "max"):
+        trajectory.add_row(key, stats[key])
+    trajectory.add_row("ceil(log2 n)+1", math.ceil(math.log2(n)) + 1)
+    result.tables.append(trajectory)
+    return result

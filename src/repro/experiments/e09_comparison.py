@@ -1,0 +1,123 @@
+"""E9 — Theorems 4-5: DSG vs baselines vs the working set bound.
+
+The headline comparison the paper's claims imply: for every workload, the
+average routing cost (and total cost) of
+
+* DSG,
+* a static skip graph (random membership vectors),
+* the frequency-optimal static skip graph built offline,
+* SplayNet (the closest self-adjusting comparator),
+* the direct-link oracle (per-request floor),
+
+together with the working set bound ``WS(σ)/m`` (the amortized lower bound
+of Theorem 1).  The "shape" the paper predicts: on skewed traffic DSG's
+routing cost is far below the static skip graph and within a constant
+factor of the working-set bound; on uniform traffic nothing beats the
+static skip graph and DSG stays within the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import competitive_report, summarize_baseline_run, summarize_dsg_run
+from repro.analysis.tables import Table
+from repro.baselines import (
+    DirectLinkOracle,
+    OfflineStaticBaseline,
+    SplayNetBaseline,
+    StaticSkipGraphBaseline,
+)
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.working_set import working_set_bound
+from repro.experiments.base import ExperimentResult
+from repro.simulation.rng import make_rng
+from repro.workloads import generate_workload
+
+__all__ = ["run"]
+
+DEFAULT_WORKLOADS = ("repeated-pair", "hot-pairs", "temporal", "community", "zipf", "uniform")
+
+
+def run(
+    n: int = 64,
+    length: int = 250,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    seed: Optional[int] = 5,
+    a: int = 4,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="Average cost: DSG vs baselines vs the working set bound (Theorems 4-5)",
+        parameters={"n": n, "length": length, "workloads": tuple(workloads), "seed": seed, "a": a},
+    )
+    keys = list(range(1, n + 1))
+
+    routing_table = Table(
+        title="Average routing cost per request",
+        columns=["workload", "WS/m", "oracle", "dsg", "dsg (tail)", "offline-static", "splaynet", "static-random"],
+    )
+    cost_table = Table(
+        title="Average total cost per request (Equation 1: routing + adjustment + 1)",
+        columns=["workload", "dsg", "splaynet", "static-random", "dsg routing ratio vs WS"],
+    )
+
+    skewed_wins = True
+    ratios_ok = True
+    # The asserted "DSG wins" workloads are the ones whose working sets are
+    # much smaller than n (log T << log n).  Community and Zipf traffic are
+    # reported for the shape of the comparison but not asserted: with the
+    # moderate n used here their working sets are only a small constant
+    # factor below n, where DSG's constants do not guarantee a win (see
+    # EXPERIMENTS.md).
+    skew_names = {"repeated-pair", "hot-pairs", "temporal"}
+
+    for name in workloads:
+        requests = generate_workload(name, keys, length, seed=seed)
+        bound = working_set_bound(requests, n)
+
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed, a=a))
+        dsg.run_sequence(requests)
+        dsg_summary = summarize_dsg_run(dsg, name="dsg")
+
+        static = StaticSkipGraphBaseline(keys, topology="random", rng=make_rng(seed))
+        static_summary = summarize_baseline_run(static.serve(requests))
+
+        offline = OfflineStaticBaseline(keys, requests, rng=make_rng(seed))
+        offline_summary = summarize_baseline_run(offline.serve(requests))
+
+        splaynet = SplayNetBaseline(keys)
+        splay_summary = summarize_baseline_run(splaynet.serve(requests))
+
+        oracle_summary = summarize_baseline_run(DirectLinkOracle().serve(requests))
+
+        report = competitive_report(dsg_summary, requests, n, precomputed_bound=bound)
+
+        routing_table.add_row(
+            name,
+            bound / length,
+            oracle_summary.average_routing,
+            dsg_summary.average_routing,
+            dsg_summary.routing_tail(0.5),
+            offline_summary.average_routing,
+            splay_summary.average_routing,
+            static_summary.average_routing,
+        )
+        cost_table.add_row(
+            name,
+            dsg_summary.average_cost,
+            splay_summary.average_cost,
+            static_summary.average_cost,
+            report.routing_ratio,
+        )
+
+        if name in skew_names:
+            # Steady-state DSG routing should beat the oblivious static graph.
+            skewed_wins &= dsg_summary.routing_tail(0.5) <= static_summary.average_routing
+        ratios_ok &= report.routing_within_constant or name == "uniform"
+
+    result.tables.append(routing_table)
+    result.tables.append(cost_table)
+    result.checks["dsg_beats_static_on_skewed_traffic"] = skewed_wins
+    result.checks["dsg_routing_within_constant_of_ws_bound"] = ratios_ok
+    return result

@@ -1,0 +1,238 @@
+"""The synchronous round engine.
+
+The engine repeatedly executes *rounds*.  In each round:
+
+1. messages enqueued during the previous round are delivered to their
+   receivers' inboxes (a message sent in round ``r`` is received in round
+   ``r + 1``, as in the standard synchronous model);
+2. every process is invoked with its inbox and may enqueue new messages;
+3. the CONGEST constraint is checked: at most one message per directed link
+   per round.  In strict mode a violation raises
+   :class:`~repro.simulation.errors.CongestionError`; in lenient mode the
+   excess messages are deferred to the next round and the violation is
+   recorded in the metrics (useful for measuring how far a protocol is from
+   conformance).
+
+Messages may only travel over links present in the :class:`Network` at send
+time; sending to a non-neighbour raises :class:`LinkError` (strict mode) or
+drops the message with a recorded violation (lenient mode).
+
+The engine stops when every process reports ``done`` and no messages are in
+flight, or when ``max_rounds`` is exceeded (which raises ``SimulationError``
+unless ``allow_timeout`` is set).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.simulation.errors import CongestionError, LinkError, MessageSizeError, SimulationError
+from repro.simulation.message import Message
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.network import Network
+from repro.simulation.node_process import NodeProcess, RoundContext
+from repro.simulation.rng import make_rng, spawn_rng
+
+__all__ = ["Simulator", "SimulatorConfig"]
+
+
+@dataclass
+class SimulatorConfig:
+    """Configuration of a :class:`Simulator` run.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard cap on the number of rounds (safety net against livelock).
+    strict_congest:
+        If ``True`` a CONGEST violation raises; otherwise excess messages are
+        deferred and counted.
+    strict_links:
+        If ``True`` sending over a missing link raises; otherwise the message
+        is dropped and counted as a violation.
+    max_message_bits:
+        Optional cap on message size; ``None`` disables the check (sizes are
+        still recorded so experiments can audit them afterwards).
+    seed:
+        Seed for the per-node RNGs.
+    allow_timeout:
+        If ``True`` reaching ``max_rounds`` ends the run quietly instead of
+        raising.
+    """
+
+    max_rounds: int = 100_000
+    strict_congest: bool = True
+    strict_links: bool = True
+    max_message_bits: Optional[int] = None
+    seed: Optional[int] = None
+    allow_timeout: bool = False
+
+
+class Simulator:
+    """Synchronous message-passing simulator over a :class:`Network`."""
+
+    def __init__(self, network: Network, config: Optional[SimulatorConfig] = None) -> None:
+        self.network = network
+        self.config = config or SimulatorConfig()
+        self.metrics = MetricsCollector()
+        self._processes: Dict[Hashable, NodeProcess] = {}
+        self._rngs: Dict[Hashable, "random.Random"] = {}
+        self._pending: List[Message] = []  # sent this round, delivered next round
+        self._deferred: List[Message] = []  # congestion overflow (lenient mode)
+        self._root_rng = make_rng(self.config.seed)
+        self._round = 0
+        self._started = False
+
+    # ----------------------------------------------------------------- setup
+    def add_process(self, process: NodeProcess) -> None:
+        """Register ``process`` for its node; the node must exist in the network."""
+        node = process.node_id
+        if not self.network.has_node(node):
+            raise LinkError(f"node {node!r} is not part of the network")
+        if node in self._processes:
+            raise SimulationError(f"node {node!r} already has a process")
+        self._processes[node] = process
+        self._rngs[node] = spawn_rng(self._root_rng, label=repr(node))
+
+    def add_processes(self, processes: Iterable[NodeProcess]) -> None:
+        for process in processes:
+            self.add_process(process)
+
+    def process(self, node: Hashable) -> NodeProcess:
+        return self._processes[node]
+
+    @property
+    def processes(self) -> Dict[Hashable, NodeProcess]:
+        return dict(self._processes)
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_rounds: Optional[int] = None) -> MetricsCollector:
+        """Run until quiescence (all processes done, no messages in flight)."""
+        limit = max_rounds if max_rounds is not None else self.config.max_rounds
+        if not self._started:
+            self._start_processes()
+        while not self._quiescent():
+            if self._round >= limit:
+                if self.config.allow_timeout:
+                    break
+                raise SimulationError(
+                    f"simulation did not terminate within {limit} rounds "
+                    f"({self._in_flight()} messages in flight)"
+                )
+            self.step()
+        return self.metrics
+
+    def step(self) -> None:
+        """Execute exactly one synchronous round."""
+        if not self._started:
+            self._start_processes()
+        stats = self.metrics.start_round(self._round)
+
+        deliveries, deferred = self._plan_deliveries(stats)
+        self._pending = []
+        self._deferred = deferred
+
+        outbox_sink: List[Message] = []
+
+        for node, process in self._processes.items():
+            inbox = deliveries.get(node, [])
+            if process.done and not inbox:
+                continue
+            ctx = RoundContext(
+                node_id=node,
+                round_index=self._round,
+                neighbors=self.network.neighbors(node) if self.network.has_node(node) else set(),
+                rng=self._rngs[node],
+                send_fn=outbox_sink.append,
+                report_memory_fn=self.metrics.record_memory,
+            )
+            process.on_round(ctx, inbox)
+
+        for node, process in self._processes.items():
+            words = process.memory_words()
+            if words is not None:
+                self.metrics.record_memory(node, words)
+
+        self._validate_outbox(outbox_sink)
+        self._pending.extend(outbox_sink)
+        self._round += 1
+
+    # -------------------------------------------------------------- internals
+    def _start_processes(self) -> None:
+        outbox_sink: List[Message] = []
+        for node, process in self._processes.items():
+            ctx = RoundContext(
+                node_id=node,
+                round_index=0,
+                neighbors=self.network.neighbors(node) if self.network.has_node(node) else set(),
+                rng=self._rngs[node],
+                send_fn=outbox_sink.append,
+                report_memory_fn=self.metrics.record_memory,
+            )
+            process.on_start(ctx)
+        self._validate_outbox(outbox_sink)
+        self._pending.extend(outbox_sink)
+        self._started = True
+
+    def _validate_outbox(self, outbox: List[Message]) -> None:
+        for message in outbox:
+            if self.config.max_message_bits is not None and message.size_bits > self.config.max_message_bits:
+                raise MessageSizeError(
+                    f"message {message.kind!r} from {message.sender!r} to "
+                    f"{message.receiver!r} has {message.size_bits} bits "
+                    f"(limit {self.config.max_message_bits})"
+                )
+
+    def _plan_deliveries(self, stats) -> tuple[Dict[Hashable, List[Message]], List[Message]]:
+        """Decide which queued messages are delivered this round.
+
+        Enforces the CONGEST constraint per directed link.  Returns the
+        delivery map and the list of messages deferred to the next round.
+        """
+        deliveries: Dict[Hashable, List[Message]] = defaultdict(list)
+        deferred: List[Message] = []
+        used_links: Dict[tuple, int] = defaultdict(int)
+
+        queue = self._deferred + self._pending
+        for message in queue:
+            sender, receiver = message.sender, message.receiver
+            if not self.network.has_link(sender, receiver):
+                if self.config.strict_links:
+                    raise LinkError(
+                        f"message {message.kind!r}: no link {sender!r} -> {receiver!r}"
+                    )
+                self.metrics.record_congestion(stats)
+                continue
+            key = (sender, receiver)
+            if used_links[key] >= 1:
+                if self.config.strict_congest:
+                    raise CongestionError(
+                        f"more than one message on link {sender!r} -> {receiver!r} "
+                        f"in round {self._round}"
+                    )
+                self.metrics.record_congestion(stats)
+                deferred.append(message)
+                continue
+            used_links[key] += 1
+            deliveries[receiver].append(message)
+            self.metrics.record_message(stats, message.size_bits)
+        return deliveries, deferred
+
+    def _in_flight(self) -> int:
+        return len(self._pending) + len(self._deferred)
+
+    def _quiescent(self) -> bool:
+        if self._in_flight():
+            return False
+        return all(process.done for process in self._processes.values())
+
+    # ------------------------------------------------------------------ query
+    def results(self) -> Dict[Hashable, object]:
+        """Per-node ``result`` attributes after the run."""
+        return {node: process.result for node, process in self._processes.items()}

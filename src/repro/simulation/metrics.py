@@ -1,0 +1,104 @@
+"""Metrics collection for simulation runs.
+
+Experiment E11 (CONGEST conformance) and the round-cost calibration of the
+structural DSG engine both rely on the counters gathered here:
+
+* number of rounds executed,
+* number of messages delivered, total and per round,
+* maximum message size in bits (to compare against ``c * log2 n``),
+* per-link per-round usage (to detect CONGEST violations),
+* per-node peak memory estimate in words (as reported by processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["MetricsCollector", "RoundStats", "LinkUsage"]
+
+
+@dataclass
+class RoundStats:
+    """Per-round aggregate counters."""
+
+    round_index: int
+    messages: int = 0
+    bits: int = 0
+    max_message_bits: int = 0
+    congestion_violations: int = 0
+
+
+@dataclass
+class LinkUsage:
+    """Usage of a directed link within a single round."""
+
+    sender: Hashable
+    receiver: Hashable
+    messages: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates counters across a simulation run."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    congestion_violations: int = 0
+    per_round: List[RoundStats] = field(default_factory=list)
+    peak_memory_words: Dict[Hashable, int] = field(default_factory=dict)
+
+    def start_round(self, round_index: int) -> RoundStats:
+        stats = RoundStats(round_index=round_index)
+        self.per_round.append(stats)
+        self.rounds = round_index + 1
+        return stats
+
+    def record_message(self, stats: RoundStats, size_bits: int) -> None:
+        stats.messages += 1
+        stats.bits += size_bits
+        stats.max_message_bits = max(stats.max_message_bits, size_bits)
+        self.total_messages += 1
+        self.total_bits += size_bits
+        self.max_message_bits = max(self.max_message_bits, size_bits)
+
+    def record_congestion(self, stats: RoundStats, count: int = 1) -> None:
+        stats.congestion_violations += count
+        self.congestion_violations += count
+
+    def record_memory(self, node: Hashable, words: int) -> None:
+        current = self.peak_memory_words.get(node, 0)
+        if words > current:
+            self.peak_memory_words[node] = words
+
+    # ------------------------------------------------------------------ query
+    @property
+    def max_memory_words(self) -> int:
+        if not self.peak_memory_words:
+            return 0
+        return max(self.peak_memory_words.values())
+
+    def messages_in_round(self, round_index: int) -> int:
+        if 0 <= round_index < len(self.per_round):
+            return self.per_round[round_index].messages
+        return 0
+
+    def busiest_round(self) -> Tuple[int, int]:
+        """Return ``(round_index, messages)`` of the round with most traffic."""
+        if not self.per_round:
+            return (0, 0)
+        stats = max(self.per_round, key=lambda s: s.messages)
+        return (stats.round_index, stats.messages)
+
+    def summary(self) -> Dict[str, int]:
+        """Plain-dict summary used by the experiment harness."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.total_messages,
+            "bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "congestion_violations": self.congestion_violations,
+            "max_memory_words": self.max_memory_words,
+        }

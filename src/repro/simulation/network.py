@@ -1,0 +1,148 @@
+"""Network topology container.
+
+A :class:`Network` is an undirected multigraph-free adjacency structure over
+node identifiers.  Links may be added and removed while the simulation runs
+(skip graph transformations rewire level lists), and the network remembers a
+label for each link (e.g. the skip graph level it belongs to) purely for
+introspection and metrics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.simulation.errors import LinkError
+
+__all__ = ["Network"]
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+def _normalize(u: NodeId, v: NodeId) -> FrozenSet[NodeId]:
+    return frozenset((u, v))
+
+
+class Network:
+    """Undirected dynamic topology with labelled links."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[NodeId, Set[NodeId]] = defaultdict(set)
+        self._labels: Dict[FrozenSet[NodeId], Set[Hashable]] = defaultdict(set)
+        self._nodes: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: NodeId) -> None:
+        """Register ``node`` (idempotent)."""
+        self._nodes.add(node)
+        self._adjacency.setdefault(node, set())
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every link incident to it."""
+        if node not in self._nodes:
+            raise LinkError(f"node {node!r} is not part of the network")
+        for neighbor in list(self._adjacency[node]):
+            self.remove_link(node, neighbor)
+        self._nodes.discard(node)
+        self._adjacency.pop(node, None)
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> Set[NodeId]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------ links
+    def add_link(self, u: NodeId, v: NodeId, label: Hashable = None) -> None:
+        """Add an undirected link between ``u`` and ``v``.
+
+        Adding the same link twice with different labels records both labels
+        but keeps a single physical link (skip graph neighbours may be
+        adjacent at several levels; the CONGEST constraint in the paper is
+        per *link*, and two nodes adjacent at multiple levels still exchange
+        at most one message per round in our strict interpretation --- the
+        more conservative reading).
+        """
+        if u == v:
+            raise LinkError("self-links are not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._labels[_normalize(u, v)].add(label)
+
+    def remove_link(self, u: NodeId, v: NodeId, label: Hashable = None) -> None:
+        """Remove the link (or one label of it) between ``u`` and ``v``.
+
+        With ``label=None`` the physical link is dropped regardless of how
+        many labels it carried; with a label, only that label is removed and
+        the physical link survives while other labels remain.
+        """
+        key = _normalize(u, v)
+        if v not in self._adjacency.get(u, set()):
+            raise LinkError(f"no link between {u!r} and {v!r}")
+        if label is None:
+            self._labels.pop(key, None)
+        else:
+            labels = self._labels.get(key, set())
+            labels.discard(label)
+            if labels:
+                return
+            self._labels.pop(key, None)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        return v in self._adjacency.get(u, set())
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        if node not in self._nodes:
+            raise LinkError(f"node {node!r} is not part of the network")
+        return set(self._adjacency[node])
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency.get(node, set()))
+
+    def labels(self, u: NodeId, v: NodeId) -> Set[Hashable]:
+        return set(self._labels.get(_normalize(u, v), set()))
+
+    def edges(self) -> Iterator[Edge]:
+        seen: Set[FrozenSet[NodeId]] = set()
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                key = _normalize(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (u, v)
+
+    def edge_count(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    # -------------------------------------------------------------- bulk ops
+    def replace_links(self, node: NodeId, new_neighbors: Iterable[NodeId], label: Hashable = None) -> None:
+        """Replace all links of ``node`` carrying ``label`` with new ones."""
+        for neighbor in list(self._adjacency.get(node, set())):
+            key = _normalize(node, neighbor)
+            if label in self._labels.get(key, set()):
+                self.remove_link(node, neighbor, label=label)
+        for neighbor in new_neighbors:
+            if neighbor != node:
+                self.add_link(node, neighbor, label=label)
+
+    def copy(self) -> "Network":
+        clone = Network()
+        for node in self._nodes:
+            clone.add_node(node)
+        for (u, v) in self.edges():
+            for label in self.labels(u, v) or {None}:
+                clone.add_link(u, v, label=label)
+        return clone

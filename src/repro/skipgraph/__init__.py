@@ -1,0 +1,47 @@
+"""Skip graph substrate (Aspnes & Shah 2003), as used by the paper.
+
+This subpackage implements the *static* skip graph data structure that the
+DSG algorithm (:mod:`repro.core`) adjusts:
+
+* membership vectors and the prefix-based level-list structure (Section III),
+* the binary-tree-of-linked-lists view used throughout the paper (Fig. 1),
+* standard skip graph routing (Appendix B),
+* construction policies (random membership vectors, perfectly balanced
+  vectors, explicit vectors),
+* node join / leave,
+* the a-balance property check (Definition "a-balance Property") and other
+  structural invariants.
+
+The skip graph state is canonically *the membership vector of every node*
+(plus the sorted key order); every level linked list is derived from it,
+which makes partial reconstruction by DSG a matter of rewriting membership
+bits for the affected nodes only.
+"""
+
+from repro.skipgraph.membership import MembershipVector, common_prefix_length
+from repro.skipgraph.node import SkipGraphNode
+from repro.skipgraph.skipgraph import SkipGraph
+from repro.skipgraph.build import (
+    build_balanced_skip_graph,
+    build_skip_graph,
+    build_skip_graph_from_membership,
+)
+from repro.skipgraph.routing import RoutingResult, route
+from repro.skipgraph.tree_view import TreeNode, tree_view
+from repro.skipgraph.balance import a_balance_violations, check_a_balance
+
+__all__ = [
+    "MembershipVector",
+    "RoutingResult",
+    "SkipGraph",
+    "SkipGraphNode",
+    "TreeNode",
+    "a_balance_violations",
+    "build_balanced_skip_graph",
+    "build_skip_graph",
+    "build_skip_graph_from_membership",
+    "check_a_balance",
+    "common_prefix_length",
+    "route",
+    "tree_view",
+]

@@ -1,0 +1,93 @@
+"""The a-balance property (paper, Section III).
+
+    "A Skip Graph satisfies the a-balance property if there exists a positive
+    integer a, such that among any a + 1 consecutive nodes in any linked list
+    l in L_i, at most a nodes can be in a single linked list in L_{i+1}."
+
+Equivalently: in no linked list do ``a + 1`` consecutive nodes all move to
+the same sublist at the next level, i.e. the longest run of equal
+"next-level bits" within any list is at most ``a``.  The property guarantees
+search paths of length at most ``a * log n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = ["BalanceViolation", "a_balance_violations", "check_a_balance", "longest_run"]
+
+
+@dataclass(frozen=True)
+class BalanceViolation:
+    """A run of more than ``a`` consecutive nodes moving to the same sublist."""
+
+    level: int
+    prefix: tuple
+    bit: int
+    run_keys: tuple
+
+    def __str__(self) -> str:
+        return (
+            f"level {self.level}: {len(self.run_keys)} consecutive nodes "
+            f"{list(self.run_keys)} all move to the {self.bit}-sublist"
+        )
+
+
+def longest_run(bits: List[int]) -> int:
+    """Length of the longest run of equal values in ``bits``."""
+    best = 0
+    current = 0
+    previous = object()
+    for bit in bits:
+        if bit == previous:
+            current += 1
+        else:
+            current = 1
+            previous = bit
+        best = max(best, current)
+    return best
+
+
+def a_balance_violations(graph: SkipGraph, a: int) -> List[BalanceViolation]:
+    """Return every a-balance violation in ``graph``.
+
+    A violation is reported once per maximal offending run.
+    """
+    if a < 1:
+        raise ValueError("a must be a positive integer")
+    violations: List[BalanceViolation] = []
+    max_level = graph.max_list_level()
+    for level in range(max_level + 1):
+        for prefix, members in graph.lists_at_level(level).items():
+            if len(members) <= a:
+                continue
+            bits = []
+            for key in members:
+                membership = graph.membership(key)
+                bit = membership.bit(level + 1) if len(membership) >= level + 1 else None
+                bits.append(bit)
+            index = 0
+            while index < len(bits):
+                bit = bits[index]
+                start = index
+                while index < len(bits) and bits[index] == bit:
+                    index += 1
+                run_length = index - start
+                if bit is not None and run_length > a:
+                    violations.append(
+                        BalanceViolation(
+                            level=level,
+                            prefix=tuple(prefix),
+                            bit=bit,
+                            run_keys=tuple(members[start:index]),
+                        )
+                    )
+    return violations
+
+
+def check_a_balance(graph: SkipGraph, a: int) -> bool:
+    """``True`` iff ``graph`` satisfies the a-balance property for ``a``."""
+    return not a_balance_violations(graph, a)

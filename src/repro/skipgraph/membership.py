@@ -1,0 +1,140 @@
+"""Membership vectors.
+
+Each skip graph node ``x`` has a membership vector ``m(x)``: a sequence of
+bits where bit ``i`` selects whether ``x`` joins the 0-sublist or the
+1-sublist when the linked list containing ``x`` at level ``i`` splits into
+two lists at level ``i + 1`` (paper, Section III).  Two nodes share a linked
+list at level ``i`` if and only if the first ``i`` bits of their membership
+vectors agree.
+
+The class below is an immutable value type.  Indexing convention: ``m[0]``
+is the bit deciding the level-1 sublist, ``m[i]`` decides the level-``i+1``
+sublist — i.e. the list containing a node at level ``d`` is identified by the
+prefix ``m[:d]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+__all__ = ["MembershipVector", "common_prefix_length"]
+
+Bit = int
+BitsLike = Union["MembershipVector", Sequence[Bit], str]
+
+
+def _coerce_bits(bits: BitsLike) -> Tuple[Bit, ...]:
+    if isinstance(bits, MembershipVector):
+        return bits.bits
+    if isinstance(bits, str):
+        values = [int(ch) for ch in bits]
+    else:
+        values = [int(b) for b in bits]
+    for value in values:
+        if value not in (0, 1):
+            raise ValueError(f"membership bits must be 0 or 1, got {value!r}")
+    return tuple(values)
+
+
+class MembershipVector:
+    """Immutable sequence of sublist-selection bits."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: BitsLike = ()) -> None:
+        self._bits = _coerce_bits(bits)
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def bits(self) -> Tuple[Bit, ...]:
+        return self._bits
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[Bit]:
+        return iter(self._bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return MembershipVector(self._bits[index])
+        return self._bits[index]
+
+    def bit(self, level: int) -> Bit:
+        """Bit deciding the sublist at ``level`` (1-based level, i.e. ``m[level-1]``).
+
+        ``level`` must be at least 1: level 0 is the base list, which is not
+        selected by any bit.
+        """
+        if level < 1:
+            raise ValueError("level 0 is the base list; bits select levels >= 1")
+        return self._bits[level - 1]
+
+    def prefix(self, length: int) -> "MembershipVector":
+        """First ``length`` bits (identifies the list at level ``length``)."""
+        if length < 0:
+            raise ValueError("prefix length must be non-negative")
+        return MembershipVector(self._bits[:length])
+
+    def has_prefix(self, prefix: BitsLike) -> bool:
+        other = _coerce_bits(prefix)
+        return self._bits[: len(other)] == other
+
+    # ------------------------------------------------------------ derivation
+    def extended(self, extra_bits: BitsLike) -> "MembershipVector":
+        return MembershipVector(self._bits + _coerce_bits(extra_bits))
+
+    def with_bit(self, level: int, bit: Bit) -> "MembershipVector":
+        """Return a copy whose bit for ``level`` (>= 1) is ``bit``.
+
+        The vector is zero-padded if it is shorter than ``level`` bits, which
+        happens when DSG pushes a node deeper than it previously was.
+        """
+        if level < 1:
+            raise ValueError("bits select levels >= 1")
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        bits = list(self._bits)
+        while len(bits) < level:
+            bits.append(0)
+        bits[level - 1] = bit
+        return MembershipVector(bits)
+
+    def truncated(self, length: int) -> "MembershipVector":
+        return MembershipVector(self._bits[:length])
+
+    # -------------------------------------------------------------- protocol
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MembershipVector):
+            return self._bits == other._bits
+        if isinstance(other, (tuple, list, str)):
+            try:
+                return self._bits == _coerce_bits(other)
+            except ValueError:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"MembershipVector('{self}')"
+
+    def __str__(self) -> str:
+        return "".join(str(b) for b in self._bits)
+
+
+def common_prefix_length(a: BitsLike, b: BitsLike) -> int:
+    """Length of the longest common prefix of two membership vectors.
+
+    This is the highest level at which the two nodes share a linked list
+    (``α`` in the paper when applied to a communicating pair).
+    """
+    bits_a = _coerce_bits(a)
+    bits_b = _coerce_bits(b)
+    length = 0
+    for bit_a, bit_b in zip(bits_a, bits_b):
+        if bit_a != bit_b:
+            break
+        length += 1
+    return length

@@ -1,0 +1,121 @@
+"""Standard skip graph routing (paper, Appendix B; Aspnes & Shah 2003).
+
+    "Routing starts at the top level from the source node and traverses
+    through the skip graph structure.  If the identifier of the destination
+    node is greater than that of the source node, then at each level, routing
+    moves to the next right node until the identifier of the next node is
+    greater than the identifier of the destination node.  When a node with an
+    identifier greater than the destination node is found, the routing drops
+    to the next lower level, continuing until the destination node is found."
+
+The function returns the full path (source and destination included), the
+per-hop levels, and the *distance* as defined in Section III: the number of
+intermediate nodes on the communication path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.skipgraph.node import Key
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = ["RoutingResult", "route", "routing_distance"]
+
+
+class RoutingError(Exception):
+    """Raised when the destination cannot be reached (corrupt structure)."""
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one routing request.
+
+    Attributes
+    ----------
+    source, destination:
+        Endpoint keys.
+    path:
+        Keys visited, starting with ``source`` and ending with
+        ``destination``.
+    hop_levels:
+        For every hop ``path[i] -> path[i+1]``, the level whose linked list
+        provided the link.
+    distance:
+        Number of intermediate nodes on the path (paper's ``d_S``), i.e.
+        ``len(path) - 2`` for distinct endpoints and 0 for a self-request.
+    rounds:
+        Rounds needed in the synchronous model: one per hop.
+    """
+
+    source: Key
+    destination: Key
+    path: List[Key] = field(default_factory=list)
+    hop_levels: List[int] = field(default_factory=list)
+
+    @property
+    def distance(self) -> int:
+        return max(0, len(self.path) - 2)
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+    @property
+    def rounds(self) -> int:
+        return self.hops
+
+    @property
+    def max_level_used(self) -> int:
+        return max(self.hop_levels, default=0)
+
+
+def route(graph: SkipGraph, source: Key, destination: Key) -> RoutingResult:
+    """Route from ``source`` to ``destination`` with the standard algorithm."""
+    if not graph.has_node(source):
+        raise KeyError(f"unknown source {source!r}")
+    if not graph.has_node(destination):
+        raise KeyError(f"unknown destination {destination!r}")
+
+    result = RoutingResult(source=source, destination=destination, path=[source])
+    if source == destination:
+        return result
+
+    ascending = destination > source
+    current = source
+    level = graph.singleton_level(current)
+
+    # Safety bound: a correct skip graph never needs more hops than nodes.
+    for _ in range(2 * len(graph) + graph.height() + 2):
+        if current == destination:
+            return result
+        if level < 0:
+            break
+        neighbor = _next_towards(graph, current, level, ascending)
+        if neighbor is None or _overshoots(neighbor, destination, ascending):
+            level -= 1
+            continue
+        result.path.append(neighbor)
+        result.hop_levels.append(level)
+        current = neighbor
+    if current == destination:
+        return result
+    raise RoutingError(
+        f"routing from {source!r} to {destination!r} failed; the skip graph "
+        "structure is inconsistent"
+    )
+
+
+def _next_towards(graph: SkipGraph, current: Key, level: int, ascending: bool) -> Optional[Key]:
+    left, right = graph.neighbors(current, level)
+    return right if ascending else left
+
+
+def _overshoots(neighbor: Key, destination: Key, ascending: bool) -> bool:
+    return neighbor > destination if ascending else neighbor < destination
+
+
+def routing_distance(graph: SkipGraph, source: Key, destination: Key) -> int:
+    """Distance (number of intermediate nodes) of the standard routing path."""
+    return route(graph, source, destination).distance

@@ -1,0 +1,299 @@
+"""The skip graph data structure.
+
+The canonical state of a :class:`SkipGraph` is the set of nodes (ordered by
+key) together with their membership vectors.  Every linked list of the skip
+graph is *derived*: the list containing node ``x`` at level ``d`` is the set
+of nodes whose membership vectors share ``x``'s first ``d`` bits, in key
+order (paper, Section III).  Level 0 is the single base list containing all
+nodes.
+
+Because DSG's transformations only rewrite membership bits of the nodes in
+one subtree (the linked list ``l_alpha`` shared by the communicating pair),
+storing the state this way makes "local and partial reconstruction" a matter
+of editing those nodes' vectors; the level lists of untouched subtrees are
+unaffected, which mirrors the locality argument of the paper.
+
+The class keeps a lazily built cache of level lists so that routing repeated
+in an unchanged region does not rescan all nodes; mutations invalidate only
+the affected part of the cache.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.skipgraph.membership import MembershipVector, common_prefix_length
+from repro.skipgraph.node import Key, SkipGraphNode
+
+__all__ = ["SkipGraph"]
+
+Prefix = Tuple[int, ...]
+
+
+class SkipGraph:
+    """A skip graph over totally ordered keys."""
+
+    def __init__(self, nodes: Optional[Iterable[SkipGraphNode]] = None) -> None:
+        self._nodes: Dict[Key, SkipGraphNode] = {}
+        self._sorted_keys: List[Key] = []
+        # Cache: (level, prefix bits) -> keys of that list, in key order.
+        self._list_cache: Dict[Tuple[int, Prefix], List[Key]] = {}
+        self._height_cache: Optional[int] = None
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+
+    # ------------------------------------------------------------- population
+    def add_node(self, node: SkipGraphNode) -> None:
+        """Insert ``node``; keys must be unique."""
+        if node.key in self._nodes:
+            raise ValueError(f"duplicate key {node.key!r}")
+        self._nodes[node.key] = node
+        insort(self._sorted_keys, node.key)
+        self._list_cache.clear()
+        self._height_cache = None
+
+    def remove_node(self, key: Key) -> SkipGraphNode:
+        """Remove and return the node with ``key``."""
+        node = self._nodes.pop(key, None)
+        if node is None:
+            raise KeyError(f"no node with key {key!r}")
+        index = bisect_left(self._sorted_keys, key)
+        del self._sorted_keys[index]
+        self._list_cache.clear()
+        self._height_cache = None
+        return node
+
+    def node(self, key: Key) -> SkipGraphNode:
+        return self._nodes[key]
+
+    def has_node(self, key: Key) -> bool:
+        return key in self._nodes
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[SkipGraphNode]:
+        for key in self._sorted_keys:
+            yield self._nodes[key]
+
+    @property
+    def keys(self) -> List[Key]:
+        """All keys in ascending order (including dummy nodes)."""
+        return list(self._sorted_keys)
+
+    @property
+    def real_keys(self) -> List[Key]:
+        """Keys of non-dummy nodes in ascending order."""
+        return [k for k in self._sorted_keys if not self._nodes[k].is_dummy]
+
+    def nodes(self) -> List[SkipGraphNode]:
+        return [self._nodes[key] for key in self._sorted_keys]
+
+    def dummy_keys(self) -> List[Key]:
+        return [k for k in self._sorted_keys if self._nodes[k].is_dummy]
+
+    # ------------------------------------------------------------ level lists
+    def membership(self, key: Key) -> MembershipVector:
+        return self._nodes[key].membership
+
+    def set_membership(self, key: Key, membership: MembershipVector | Iterable[int] | str) -> None:
+        """Replace the membership vector of ``key`` and invalidate caches.
+
+        Only the cache entries that could contain the node (levels >= 1 whose
+        prefix matches either the old or the new vector) need invalidation,
+        plus nothing at level 0 since the base list is key-order only.
+        """
+        node = self._nodes[key]
+        old = node.membership
+        new = MembershipVector(membership) if not isinstance(membership, MembershipVector) else membership
+        node.membership = new
+        self._height_cache = None
+        self._invalidate_for_change(old, new)
+
+    def _invalidate_for_change(self, old: MembershipVector, new: MembershipVector) -> None:
+        keep_prefix = common_prefix_length(old, new)
+        longest = max(len(old), len(new))
+        for level in range(keep_prefix + 1, longest + 1):
+            for vector in (old, new):
+                if len(vector) >= level:
+                    self._list_cache.pop((level, vector.bits[:level]), None)
+
+    def invalidate_cache(self) -> None:
+        self._list_cache.clear()
+        self._height_cache = None
+
+    def list_members(self, level: int, prefix: MembershipVector | Iterable[int] | str) -> List[Key]:
+        """Keys of the linked list at ``level`` identified by ``prefix``.
+
+        ``prefix`` must have exactly ``level`` bits.  Nodes whose membership
+        vectors are shorter than ``level`` belong to no multi-node list at
+        that level and are excluded unless their (full) vector equals the
+        prefix of the same length.
+        """
+        prefix_vec = prefix if isinstance(prefix, MembershipVector) else MembershipVector(prefix)
+        if len(prefix_vec) != level:
+            raise ValueError(f"prefix must have exactly {level} bits, got {len(prefix_vec)}")
+        cache_key = (level, prefix_vec.bits)
+        cached = self._list_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
+        prefix_bits = prefix_vec.bits
+        members = [
+            key
+            for key in self._sorted_keys
+            if self._nodes[key].membership.bits[:level] == prefix_bits
+        ]
+        self._list_cache[cache_key] = members
+        return list(members)
+
+    def list_of(self, key: Key, level: int) -> List[Key]:
+        """Keys of the linked list containing ``key`` at ``level`` (key order)."""
+        if level == 0:
+            return list(self._sorted_keys)
+        node = self._nodes[key]
+        if len(node.membership) < level:
+            return [key]
+        return self.list_members(level, node.membership.prefix(level))
+
+    def lists_at_level(self, level: int) -> Dict[Prefix, List[Key]]:
+        """All linked lists at ``level``, keyed by their prefix bits.
+
+        Nodes with membership vectors shorter than ``level`` appear as
+        singleton lists keyed by their full vector (padded marker lists).
+        """
+        if level == 0:
+            return {(): list(self._sorted_keys)}
+        lists: Dict[Prefix, List[Key]] = {}
+        for key in self._sorted_keys:
+            bits = self._nodes[key].membership.bits
+            # Nodes shorter than the level are singletons beyond their depth.
+            prefix = bits[:level] if len(bits) >= level else bits
+            lists.setdefault(prefix, []).append(key)
+        return lists
+
+    # ------------------------------------------------------------- neighbours
+    def neighbors(self, key: Key, level: int) -> Tuple[Optional[Key], Optional[Key]]:
+        """Left and right neighbour of ``key`` in its list at ``level``."""
+        members = self.list_of(key, level)
+        index = members.index(key)
+        left = members[index - 1] if index > 0 else None
+        right = members[index + 1] if index + 1 < len(members) else None
+        return left, right
+
+    def right_neighbor(self, key: Key, level: int) -> Optional[Key]:
+        return self.neighbors(key, level)[1]
+
+    def left_neighbor(self, key: Key, level: int) -> Optional[Key]:
+        return self.neighbors(key, level)[0]
+
+    # ------------------------------------------------------------- structure
+    def singleton_level(self, key: Key) -> int:
+        """Lowest level at which ``key`` is the only member of its list."""
+        if len(self._nodes) <= 1:
+            return 0
+        bits = self._nodes[key].membership.bits
+        deepest_shared = 0
+        for other in self._sorted_keys:
+            if other == key:
+                continue
+            other_bits = self._nodes[other].membership.bits
+            shared = 0
+            for bit_a, bit_b in zip(bits, other_bits):
+                if bit_a != bit_b:
+                    break
+                shared += 1
+            deepest_shared = max(deepest_shared, shared)
+        return deepest_shared + 1
+
+    def common_level(self, u: Key, v: Key) -> int:
+        """Highest level at which ``u`` and ``v`` share a linked list (``alpha``)."""
+        return common_prefix_length(self._nodes[u].membership, self._nodes[v].membership)
+
+    def height(self) -> int:
+        """Number of levels: 1 + the highest level holding a list of size >= 2.
+
+        An empty or single-node skip graph has height 1 (just the base list).
+        The deepest shared prefix is attained between lexicographic
+        neighbours of the membership vectors, so one sort suffices.
+        """
+        if len(self._nodes) <= 1:
+            return 1
+        if self._height_cache is not None:
+            return self._height_cache
+        vectors = sorted(self._nodes[key].membership.bits for key in self._sorted_keys)
+        deepest = 0
+        for first, second in zip(vectors, vectors[1:]):
+            shared = 0
+            for bit_a, bit_b in zip(first, second):
+                if bit_a != bit_b:
+                    break
+                shared += 1
+            deepest = max(deepest, shared)
+        self._height_cache = deepest + 2
+        return self._height_cache
+
+    def max_list_level(self) -> int:
+        """Highest level at which some list still has two or more nodes."""
+        return self.height() - 1 if len(self._nodes) > 1 else 0
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the structure is internally inconsistent.
+
+        Checks that every node eventually becomes singleton (no two nodes
+        share a complete membership vector of equal length where one is a
+        prefix of the other and equal) and that keys are unique and sorted.
+        Dummy nodes are exempt: they deliberately stop at the level where
+        they were inserted (paper, Section IV-F) and never need to become
+        singletons.
+        """
+        seen_vectors: Dict[Tuple[int, ...], Key] = {}
+        for key in self._sorted_keys:
+            node = self._nodes[key]
+            if node.is_dummy:
+                continue
+            vector = node.membership.bits
+            if vector in seen_vectors:
+                other = seen_vectors[vector]
+                raise ValueError(
+                    f"nodes {other!r} and {key!r} share the full membership vector "
+                    f"{''.join(map(str, vector))!r}; neither becomes singleton"
+                )
+            seen_vectors[vector] = key
+        for first, second in zip(self._sorted_keys, self._sorted_keys[1:]):
+            if not first < second:
+                raise ValueError(f"keys not strictly sorted: {first!r} !< {second!r}")
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ misc
+    def copy(self) -> "SkipGraph":
+        clone = SkipGraph()
+        for key in self._sorted_keys:
+            node = self._nodes[key]
+            clone.add_node(
+                SkipGraphNode(
+                    key=node.key,
+                    membership=MembershipVector(node.membership.bits),
+                    payload=node.payload,
+                    is_dummy=node.is_dummy,
+                )
+            )
+        return clone
+
+    def membership_table(self) -> Dict[Key, str]:
+        """Mapping key -> membership vector string (for display and tests)."""
+        return {key: str(self._nodes[key].membership) for key in self._sorted_keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipGraph(n={len(self)}, height={self.height()})"

@@ -1,0 +1,99 @@
+"""Binary-tree-of-linked-lists view of a skip graph (paper, Fig. 1).
+
+    "For simpler representation, we map a skip graph into a binary tree of
+    linked lists.  [...] the linked list at level 0 is represented by the
+    root node of the tree, and the 0-sublist and the 1-sublist at level 1 are
+    represented by the left child and right child of the root, respectively."
+
+The view is used by experiment E1 and by the pretty-printer that renders the
+paper's figures in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.skipgraph.node import Key
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = ["TreeNode", "tree_view", "render_tree"]
+
+
+@dataclass
+class TreeNode:
+    """One linked list of the skip graph, as a node of the binary tree."""
+
+    level: int
+    prefix: Tuple[int, ...]
+    keys: List[Key]
+    zero_child: Optional["TreeNode"] = None
+    one_child: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.zero_child is None and self.one_child is None
+
+    @property
+    def prefix_string(self) -> str:
+        return "".join(str(bit) for bit in self.prefix) or "(root)"
+
+    def all_lists(self) -> List["TreeNode"]:
+        """This node and all descendants, in pre-order."""
+        found = [self]
+        for child in (self.zero_child, self.one_child):
+            if child is not None:
+                found.extend(child.all_lists())
+        return found
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        children = [child for child in (self.zero_child, self.one_child) if child is not None]
+        if not children:
+            return 1
+        return 1 + max(child.depth() for child in children)
+
+
+def tree_view(graph: SkipGraph) -> TreeNode:
+    """Build the binary tree of linked lists for ``graph``."""
+    return _build(graph, level=0, prefix=(), keys=graph.keys)
+
+
+def _build(graph: SkipGraph, level: int, prefix: Tuple[int, ...], keys: List[Key]) -> TreeNode:
+    node = TreeNode(level=level, prefix=prefix, keys=list(keys))
+    if len(keys) <= 1:
+        return node
+    zero_keys: List[Key] = []
+    one_keys: List[Key] = []
+    for key in keys:
+        membership = graph.membership(key)
+        if len(membership) < level + 1:
+            # The node does not descend further; it stays a singleton leaf
+            # conceptually attached to this list.  Standard skip graphs always
+            # have long-enough vectors, so this only happens mid-transformation.
+            continue
+        if membership.bit(level + 1) == 0:
+            zero_keys.append(key)
+        else:
+            one_keys.append(key)
+    if zero_keys:
+        node.zero_child = _build(graph, level + 1, prefix + (0,), zero_keys)
+    if one_keys:
+        node.one_child = _build(graph, level + 1, prefix + (1,), one_keys)
+    return node
+
+
+def render_tree(root: TreeNode) -> str:
+    """ASCII rendering of the tree view, one list per line, indented by level."""
+    lines: List[str] = []
+
+    def visit(node: TreeNode) -> None:
+        indent = "  " * node.level
+        keys = ", ".join(str(key) for key in node.keys)
+        lines.append(f"{indent}[level {node.level} | {node.prefix_string}] {keys}")
+        for child in (node.zero_child, node.one_child):
+            if child is not None:
+                visit(child)
+
+    visit(root)
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""A classic probabilistic skip list (Pugh 1990).
+
+Skip graphs generalize skip lists: each skip graph node participates in one
+skip list per membership-vector prefix.  The plain structure here serves as a
+reference implementation for search-path-length comparisons in the examples
+and tests, and mirrors the API of :class:`repro.skiplist.BalancedSkipList`
+where it makes sense.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.simulation.rng import make_rng
+
+__all__ = ["SkipList"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Sorted map with expected ``O(log n)`` search, insert and delete.
+
+    Parameters
+    ----------
+    p:
+        Promotion probability (classically 1/2; the AMF construction uses
+        ``1/a``).
+    rng:
+        Deterministic random source.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[random.Random] = None, max_level: int = 32) -> None:
+        if not 0 < p < 1:
+            raise ValueError("promotion probability must be in (0, 1)")
+        self._p = p
+        self._rng = rng or make_rng()
+        self._max_level = max_level
+        self._head = _Node(None, None, max_level)
+        self._level = 1
+        self._size = 0
+
+    # ------------------------------------------------------------------ size
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels currently in use."""
+        return self._level
+
+    # --------------------------------------------------------------- lookups
+    def _find_predecessors(self, key: Any) -> Tuple[List[_Node], int]:
+        """Return per-level predecessors of ``key`` and the comparisons made."""
+        update: List[_Node] = [self._head] * self._max_level
+        node = self._head
+        comparisons = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                comparisons += 1
+            update[level] = node
+        return update, comparisons
+
+    def search(self, key: Any) -> Any:
+        """Return the value stored under ``key``; raise ``KeyError`` if absent."""
+        update, _ = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        raise KeyError(key)
+
+    def __contains__(self, key: Any) -> bool:
+        try:
+            self.search(key)
+        except KeyError:
+            return False
+        return True
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            return self.search(key)
+        except KeyError:
+            return default
+
+    def search_path_length(self, key: Any) -> int:
+        """Number of horizontal moves made while searching ``key``."""
+        _, comparisons = self._find_predecessors(key)
+        return comparisons
+
+    # --------------------------------------------------------------- updates
+    def _random_level(self) -> int:
+        level = 1
+        while self._rng.random() < self._p and level < self._max_level:
+            level += 1
+        return level
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` (replacing its value if already present)."""
+        update, _ = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``; raise ``KeyError`` if absent."""
+        update, _ = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is None or candidate.key != key:
+            raise KeyError(key)
+        for i in range(len(candidate.forward)):
+            if update[i].forward[i] is candidate:
+                update[i].forward[i] = candidate.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+
+    # ------------------------------------------------------------- iteration
+    def keys(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[Any, Any]], p: float = 0.5,
+                   rng: Optional[random.Random] = None) -> "SkipList":
+        instance = cls(p=p, rng=rng)
+        for key, value in items:
+            instance.insert(key, value)
+        return instance

@@ -1,0 +1,63 @@
+"""Communication-request workloads.
+
+The paper's motivation is that "most real-world communication patterns are
+skewed"; the generators here cover the spectrum the evaluation (experiments
+E3, E8, E9) sweeps:
+
+* ``uniform`` — independent uniform pairs (no skew; the case static skip
+  graphs are optimised for),
+* ``hot-pairs`` — a few fixed pairs dominate the traffic,
+* ``zipf`` — endpoints drawn from a Zipf distribution over a *random
+  permutation* of the keys (popularity skew uncorrelated with key order),
+* ``temporal`` — a sliding working set: requests are drawn from a small
+  active group that drifts over time (temporal locality),
+* ``community`` — nodes are partitioned into communities and traffic is
+  intra-community with high probability (spatial locality in the
+  communication graph, the paper's VM-migration motivation),
+* ``repeated-pair`` — a single pair repeated (the best case for any
+  self-adjusting design, worst case relative advantage for static),
+* ``adversarial-static`` — pairs chosen to be far apart in the *static*
+  topology (max-distance pairs), showing the gap between worst-case static
+  routing and self-adjusted routing.
+
+Every generator is deterministic given its seed and returns a list of
+``(source, destination)`` tuples.  :func:`generate_workload` is the single
+entry point used by the experiments and the CLI.
+"""
+
+from repro.workloads.sequences import (
+    WORKLOADS,
+    adversarial_for_static,
+    community_traffic,
+    generate_workload,
+    hot_pairs,
+    repeated_pair,
+    temporal_locality,
+    uniform_pairs,
+    zipf_pairs,
+)
+from repro.workloads.paper_examples import (
+    fig2_access_pattern,
+    fig3_communication_graph,
+    fig4_membership_s8,
+    fig4_setup,
+)
+from repro.workloads.traces import load_trace, save_trace
+
+__all__ = [
+    "WORKLOADS",
+    "adversarial_for_static",
+    "community_traffic",
+    "fig2_access_pattern",
+    "fig3_communication_graph",
+    "fig4_membership_s8",
+    "fig4_setup",
+    "generate_workload",
+    "hot_pairs",
+    "load_trace",
+    "repeated_pair",
+    "save_trace",
+    "temporal_locality",
+    "uniform_pairs",
+    "zipf_pairs",
+]

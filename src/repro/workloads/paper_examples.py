@@ -1,0 +1,164 @@
+"""The paper's worked examples (Figures 2, 3 and 4) as reusable fixtures.
+
+These drive experiments E2 (working set number of Fig. 2), E3 (the Fig. 3
+lower-bound construction) and E4 (the S8 -> S9 transformation of Fig. 4).
+
+Key mapping for Fig. 4: the paper identifies nodes by letters and states
+that "the nodes' numerical identifiers are determined by their positions in
+the English alphabet"; the same mapping is used here (B=2, D=4, E=5, F=6,
+G=7, H=8, I=9, J=10, U=21, V=22).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.state import DSGNodeState
+from repro.skipgraph.build import build_skip_graph_from_membership
+
+__all__ = [
+    "FIG4_KEYS",
+    "fig2_access_pattern",
+    "fig3_communication_graph",
+    "fig4_membership_s8",
+    "fig4_setup",
+]
+
+#: Letter -> numeric identifier for the Fig. 4 example.
+FIG4_KEYS: Dict[str, int] = {
+    "B": 2, "D": 4, "E": 5, "F": 6, "G": 7,
+    "H": 8, "I": 9, "J": 10, "U": 21, "V": 22,
+}
+
+
+def fig2_access_pattern() -> List[Tuple[str, str]]:
+    """The access pattern of Fig. 2(a).
+
+    Between the two (u, v) communications the requests (e,a), (k,u), (a,u)
+    and (e,k) occur; the nodes of the communication graph reachable from u
+    or v are then e, a, k, u and v, so the working set number of the final
+    (u, v) request is 5 (Fig. 2(b)).
+    """
+    return [("u", "v"), ("e", "a"), ("k", "u"), ("a", "u"), ("e", "k"), ("u", "v")]
+
+
+def fig3_communication_graph(k: int) -> List[Tuple[int, int]]:
+    """A request sequence realising the Fig. 3 / Theorem 1 scenario.
+
+    Nodes ``U=1`` and ``V=2`` communicate, ``U`` then talks to node ``A=3``,
+    each of the ``k - 2`` filler nodes communicates with ``A``, and finally
+    ``U`` and ``V`` communicate again.  The communication graph between the
+    two (U, V) requests then connects exactly ``k + 1`` nodes to U or V
+    (U, V, A and the k - 2 fillers), so the working set number of the final
+    request is ``k + 1``; experiment E3 uses the sequence to exercise the
+    routing-distance lower bound ``log(k + 1)`` of Theorem 1.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    u, v, a = 1, 2, 3
+    fillers = [10 + i for i in range(k - 2)]
+    sequence: List[Tuple[int, int]] = [(u, v), (u, a)]
+    sequence.extend((a, filler) for filler in fillers)
+    sequence.append((u, v))
+    return sequence
+
+
+def fig4_membership_s8() -> Dict[int, str]:
+    """Membership vectors realising the skip graph S8 of Fig. 4(b).
+
+    Level-1 split: {E, F, H, I, J, V} in the 0-subgraph, {B, D, G, U} in the
+    1-subgraph.  Level 2: {E, H, J, V} / {F, I} and {B, G} / {D, U}.
+    Level 3: {H, J} / {E, V}.  One extra level separates the remaining
+    sibling pairs so that every node is eventually a singleton (the figure
+    stops at the levels it needs for the example).
+    """
+    K = FIG4_KEYS
+    return {
+        K["H"]: "0000",
+        K["J"]: "0001",
+        K["V"]: "0010",
+        K["E"]: "0011",
+        K["F"]: "010",
+        K["I"]: "011",
+        K["B"]: "100",
+        K["G"]: "101",
+        K["D"]: "110",
+        K["U"]: "111",
+    }
+
+
+def fig4_setup(use_exact_median: bool = True, seed: int = 8) -> DynamicSkipGraph:
+    """A :class:`DynamicSkipGraph` initialised to the paper's S8 state.
+
+    Timestamps, group-ids and group-bases follow Fig. 4(b) and the
+    surrounding text:
+
+    * {B, G, D, U} form a group at level 1 (timestamps 4, 4, 4, 2); B and G
+      additionally share a level-2 group (timestamps 6), D and U a level-2
+      group (timestamps 4 and 2);
+    * {V, E} form a group with timestamp 5 (they communicated at time 5);
+    * {H, J} form a group with timestamp 7;
+    * {F, I} form a group with timestamp 1;
+    * group-ids at level 0: H and J hold J's identifier, F and I hold F's
+      identifier (as stated in Section IV-C), the {B, G, D, U} group holds
+      U's identifier and the {V, E} group holds V's identifier.
+
+    The instance's clock is set so that the next request is served at time
+    t = 8, matching the (U, V) communication of the example.  By default the
+    exact-median ablation is enabled so the transformation is deterministic
+    (the paper's walk-through assumes M = 2 at the first split, which is the
+    exact median of the priorities it lists).
+    """
+    K = FIG4_KEYS
+    graph = build_skip_graph_from_membership(fig4_membership_s8())
+    config = DSGConfig(a=4, seed=seed, use_exact_median=use_exact_median)
+    dsg = DynamicSkipGraph(graph=graph, config=config)
+
+    def state(letter: str) -> DSGNodeState:
+        return dsg.states[K[letter]]
+
+    uid_u = state("U").uid
+    uid_v = state("V").uid
+    uid_j = state("J").uid
+    uid_f = state("F").uid
+
+    # --- the {B, G, D, U} group (merged through communications at times 2-6)
+    for letter in ("B", "G", "D", "U"):
+        state(letter).set_group_id(0, uid_u)
+        state(letter).set_group_id(1, uid_u)
+        state(letter).group_base = 1
+    for letter, timestamp in (("B", 4), ("G", 4), ("D", 4), ("U", 2)):
+        state(letter).set_timestamp(1, timestamp)
+    for letter in ("B", "G"):
+        state(letter).set_group_id(2, state("B").uid)
+        state(letter).set_timestamp(2, 6)
+    for letter, timestamp in (("D", 4), ("U", 2)):
+        state(letter).set_group_id(2, uid_u)
+        state(letter).set_timestamp(2, timestamp)
+
+    # --- the {V, E} group (communicated at time 5)
+    for letter in ("V", "E"):
+        for level in range(0, 4):
+            state(letter).set_group_id(level, uid_v)
+        state(letter).set_timestamp(3, 5)
+        state(letter).group_base = 3
+
+    # --- the {H, J} group (communicated at time 7)
+    for letter in ("H", "J"):
+        for level in range(0, 4):
+            state(letter).set_group_id(level, uid_j)
+        state(letter).set_timestamp(3, 7)
+        state(letter).group_base = 3
+
+    # --- the {F, I} group (communicated at time 1)
+    for letter in ("F", "I"):
+        for level in range(0, 3):
+            state(letter).set_group_id(level, uid_f)
+        state(letter).set_timestamp(2, 1)
+        state(letter).group_base = 2
+
+    # The next request is the (U, V) communication at time 8.
+    dsg._time = 7
+    dsg.history.total_nodes = len(FIG4_KEYS)
+    return dsg

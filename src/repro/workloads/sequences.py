@@ -1,0 +1,211 @@
+"""Request-sequence generators (see the package docstring for the catalogue)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.rng import make_rng
+from repro.skipgraph.node import Key
+
+__all__ = [
+    "WORKLOADS",
+    "adversarial_for_static",
+    "community_traffic",
+    "generate_workload",
+    "hot_pairs",
+    "repeated_pair",
+    "temporal_locality",
+    "uniform_pairs",
+    "zipf_pairs",
+]
+
+Request = Tuple[Key, Key]
+
+
+def _distinct_pair(rng: random.Random, population: Sequence[Key]) -> Request:
+    u = rng.choice(population)
+    v = rng.choice(population)
+    while v == u:
+        v = rng.choice(population)
+    return (u, v)
+
+
+def uniform_pairs(keys: Sequence[Key], length: int, seed: Optional[int] = None) -> List[Request]:
+    """Independent uniformly random source/destination pairs."""
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < 2:
+        raise ValueError("need at least two keys")
+    return [_distinct_pair(rng, keys) for _ in range(length)]
+
+
+def repeated_pair(keys: Sequence[Key], length: int, seed: Optional[int] = None) -> List[Request]:
+    """The same (randomly chosen) pair repeated ``length`` times."""
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < 2:
+        raise ValueError("need at least two keys")
+    pair = _distinct_pair(rng, keys)
+    return [pair] * length
+
+
+def hot_pairs(
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    pairs: int = 4,
+    hot_fraction: float = 0.9,
+) -> List[Request]:
+    """A few fixed "hot" pairs receive ``hot_fraction`` of the traffic."""
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < 2 * pairs:
+        raise ValueError("need at least 2*pairs keys")
+    sampled = rng.sample(keys, 2 * pairs)
+    hot = [(sampled[2 * i], sampled[2 * i + 1]) for i in range(pairs)]
+    requests: List[Request] = []
+    for _ in range(length):
+        if rng.random() < hot_fraction:
+            requests.append(hot[rng.randrange(pairs)])
+        else:
+            requests.append(_distinct_pair(rng, keys))
+    return requests
+
+
+def zipf_pairs(
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    exponent: float = 1.2,
+) -> List[Request]:
+    """Endpoints drawn Zipf-distributed over a random permutation of the keys.
+
+    The permutation decouples popularity rank from key order, so the skew is
+    purely a *communication* skew and not a key-space locality artefact.
+    """
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < 2:
+        raise ValueError("need at least two keys")
+    permuted = list(keys)
+    rng.shuffle(permuted)
+    weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(permuted))]
+    requests: List[Request] = []
+    for _ in range(length):
+        u, v = rng.choices(permuted, weights=weights, k=2)
+        while v == u:
+            v = rng.choices(permuted, weights=weights, k=1)[0]
+        requests.append((u, v))
+    return requests
+
+
+def temporal_locality(
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    working_set_size: int = 8,
+    drift_probability: float = 0.05,
+) -> List[Request]:
+    """A small active set generates the traffic; it drifts slowly over time.
+
+    With probability ``drift_probability`` per request one member of the
+    active set is replaced by a random outsider, producing the sliding
+    working sets the paper's yardstick is designed to capture.
+    """
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < working_set_size:
+        raise ValueError("working_set_size larger than the key population")
+    active = rng.sample(keys, working_set_size)
+    requests: List[Request] = []
+    for _ in range(length):
+        if rng.random() < drift_probability:
+            leaving = rng.randrange(working_set_size)
+            candidates = [key for key in keys if key not in active]
+            if candidates:
+                active[leaving] = rng.choice(candidates)
+        requests.append(_distinct_pair(rng, active))
+    return requests
+
+
+def community_traffic(
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    communities: int = 4,
+    intra_probability: float = 0.9,
+) -> List[Request]:
+    """Partition the nodes into communities; traffic is mostly intra-community."""
+    rng = make_rng(seed)
+    keys = list(keys)
+    if len(keys) < 2 * communities:
+        raise ValueError("need at least two keys per community")
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    groups: List[List[Key]] = [shuffled[i::communities] for i in range(communities)]
+    requests: List[Request] = []
+    for _ in range(length):
+        if rng.random() < intra_probability:
+            group = groups[rng.randrange(communities)]
+            requests.append(_distinct_pair(rng, group))
+        else:
+            requests.append(_distinct_pair(rng, keys))
+    return requests
+
+
+def adversarial_for_static(
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    graph=None,
+) -> List[Request]:
+    """Pairs that are far apart in a *static* balanced skip graph.
+
+    When ``graph`` is omitted, the pairs alternate between keys from the two
+    halves of the key space whose membership vectors differ at level 1 of the
+    balanced construction — the pairs with the longest static routes.
+    """
+    rng = make_rng(seed)
+    keys = sorted(set(keys))
+    if len(keys) < 4:
+        raise ValueError("need at least four keys")
+    if graph is None:
+        from repro.skipgraph.build import build_balanced_skip_graph
+
+        graph = build_balanced_skip_graph(keys)
+    from repro.skipgraph.routing import route as sg_route
+
+    sample = rng.sample(keys, min(len(keys), 24))
+    scored = []
+    for i, u in enumerate(sample):
+        for v in sample[i + 1 :]:
+            scored.append((sg_route(graph, u, v).distance, (u, v)))
+    scored.sort(reverse=True)
+    worst = [pair for _, pair in scored[: max(4, len(scored) // 8)]]
+    return [worst[rng.randrange(len(worst))] for _ in range(length)]
+
+
+#: Registry used by the experiments and the CLI.
+WORKLOADS: Dict[str, Callable[..., List[Request]]] = {
+    "uniform": uniform_pairs,
+    "repeated-pair": repeated_pair,
+    "hot-pairs": hot_pairs,
+    "zipf": zipf_pairs,
+    "temporal": temporal_locality,
+    "community": community_traffic,
+    "adversarial-static": adversarial_for_static,
+}
+
+
+def generate_workload(
+    name: str,
+    keys: Sequence[Key],
+    length: int,
+    seed: Optional[int] = None,
+    **params,
+) -> List[Request]:
+    """Generate the workload ``name`` (see :data:`WORKLOADS`) deterministically."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")
+    return WORKLOADS[name](keys, length, seed=seed, **params)

@@ -1,0 +1,173 @@
+"""Focused tests for the transformation engine and timestamp rules."""
+
+import random
+
+import pytest
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.state import DSGNodeState
+from repro.core.timestamps import TimestampContext, apply_timestamp_rules
+from repro.core.transformation import transform
+from repro.core.priorities import compute_priorities
+from repro.core.groups import merge_groups_at_alpha
+from repro.simulation.rng import make_rng
+from repro.skipgraph.build import build_balanced_skip_graph
+from repro.skipgraph.membership import MembershipVector
+
+
+def prepare(n=16, seed=1):
+    graph = build_balanced_skip_graph(range(1, n + 1))
+    states = {key: DSGNodeState(key=key) for key in graph.keys}
+    for key in graph.keys:
+        states[key].group_base = graph.singleton_level(key)
+    return graph, states
+
+
+class TestTransform:
+    def test_pair_ends_in_size_two_list(self):
+        graph, states = prepare()
+        members = graph.keys
+        u, v, t = 3, 14, 1
+        priorities = compute_priorities(states, members, u, v, alpha=0, t=t, height=graph.height())
+        merge_groups_at_alpha(states, members, u, v, alpha=0)
+        outcome = transform(
+            graph=graph, states=states, members=members, priorities=priorities,
+            u=u, v=v, alpha=0, t=t, a=4, rng=make_rng(2),
+        )
+        assert sorted(graph.list_of(u, outcome.d_prime)) == sorted(
+            [k for k in graph.list_of(u, outcome.d_prime)]
+        )
+        pair_list = [k for k in graph.list_of(u, outcome.d_prime) if not graph.node(k).is_dummy]
+        assert u in pair_list and v in pair_list
+        assert outcome.rounds > 0
+        assert outcome.total_work_rounds >= outcome.rounds
+        assert outcome.amf_calls >= 1
+
+    def test_everyone_becomes_singleton(self):
+        graph, states = prepare()
+        members = graph.keys
+        u, v, t = 5, 12, 1
+        priorities = compute_priorities(states, members, u, v, alpha=0, t=t, height=graph.height())
+        merge_groups_at_alpha(states, members, u, v, alpha=0)
+        transform(
+            graph=graph, states=states, members=members, priorities=priorities,
+            u=u, v=v, alpha=0, t=t, a=4, rng=make_rng(3),
+        )
+        graph.validate()
+        for key in members:
+            assert len(graph.list_of(key, len(graph.membership(key)))) == 1
+
+    def test_untouched_nodes_keep_membership(self):
+        # Transform only a subtree: nodes outside l_alpha must not move.
+        dsg = DynamicSkipGraph(keys=range(1, 33), config=DSGConfig(seed=3))
+        dsg.request(1, 2)  # creates structure where (1, 2) share a deep list
+        alpha = dsg.graph.common_level(1, 2)
+        assert alpha > 0
+        outside = [k for k in dsg.graph.real_keys if dsg.graph.common_level(k, 1) == 0]
+        before = {k: dsg.graph.membership(k) for k in outside}
+        dsg.request(1, 2)
+        after = {k: dsg.graph.membership(k) for k in outside}
+        assert before == after
+
+    def test_medians_recorded_per_level(self):
+        graph, states = prepare(8)
+        members = graph.keys
+        u, v, t = 1, 8, 1
+        priorities = compute_priorities(states, members, u, v, alpha=0, t=t, height=graph.height())
+        merge_groups_at_alpha(states, members, u, v, alpha=0)
+        outcome = transform(
+            graph=graph, states=states, members=members, priorities=priorities,
+            u=u, v=v, alpha=0, t=t, a=4, rng=make_rng(4),
+        )
+        assert 0 in outcome.received_medians[u] or outcome.received_medians[u] == {}
+        # every non-pair member received at least the first median
+        assert all(0 in medians for key, medians in outcome.received_medians.items() if key not in (u, v))
+
+
+class TestTimestampRules:
+    def make_ctx(self, states, **overrides):
+        defaults = dict(
+            u=1,
+            v=2,
+            t=9,
+            alpha=0,
+            d_prime=2,
+            members=[1, 2, 3],
+            old_membership={1: MembershipVector("00"), 2: MembershipVector("01"), 3: MembershipVector("1")},
+            new_membership={1: MembershipVector("000"), 2: MembershipVector("001"), 3: MembershipVector("1")},
+            received_medians={3: {0: 4.0}},
+            old_group_u=states[1].uid,
+            old_group_v=states[2].uid,
+            old_group_ids_alpha={1: states[1].uid, 2: states[2].uid, 3: states[3].uid},
+            split_levels={},
+            glower_participants=set(),
+            old_timestamps={k: dict(states[k].timestamps) for k in (1, 2, 3)},
+        )
+        defaults.update(overrides)
+        return TimestampContext(**defaults)
+
+    def test_t1_stamps_pair_with_request_time(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        ctx = self.make_ctx(states)
+        apply_timestamp_rules(states, ctx)
+        assert states[1].timestamp(2) == 9
+        assert states[1].timestamp(3) == 9
+        assert states[2].timestamp(2) == 9
+
+    def test_t1_merges_lower_levels_with_max(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        states[1].set_timestamp(1, 3)
+        states[2].set_timestamp(1, 7)
+        ctx = self.make_ctx(states, old_timestamps={1: {1: 3}, 2: {1: 7}, 3: {}})
+        apply_timestamp_rules(states, ctx)
+        assert states[1].timestamp(1) == 7
+        assert states[2].timestamp(1) == 7
+
+    def test_t2_uses_median_when_no_older_timestamp_exceeds_it(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        states[3].set_group_id(0, states[1].uid)
+        ctx = self.make_ctx(states)
+        apply_timestamp_rules(states, ctx)
+        assert states[3].timestamp(1) == 4
+
+    def test_t2_clamps_infinite_median_to_request_time(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        states[3].set_group_id(0, states[1].uid)
+        ctx = self.make_ctx(states, received_medians={3: {0: float("inf")}})
+        apply_timestamp_rules(states, ctx)
+        assert states[3].timestamp(1) == 9
+
+    def test_t5_backfills_zero_timestamp_on_split(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        states[3].set_timestamp(2, 6)
+        ctx = self.make_ctx(states, split_levels={3: [2]}, received_medians={})
+        apply_timestamp_rules(states, ctx)
+        assert states[3].timestamp(1) == 6
+
+    def test_t6_zeroes_below_group_base(self):
+        states = {k: DSGNodeState(key=k) for k in (1, 2, 3)}
+        states[3].group_base = 2
+        states[3].set_timestamp(0, 5)
+        states[3].set_timestamp(1, 5)
+        ctx = self.make_ctx(states, received_medians={})
+        apply_timestamp_rules(states, ctx)
+        assert states[3].timestamp(0) == 0
+        assert states[3].timestamp(1) == 0
+
+    def test_timestamps_stay_nonnegative_in_long_runs(self):
+        dsg = DynamicSkipGraph(keys=range(1, 33), config=DSGConfig(seed=31))
+        rng = random.Random(3)
+        for _ in range(80):
+            u, v = rng.sample(range(1, 33), 2)
+            dsg.request(u, v)
+        for key, state in dsg.states.items():
+            assert all(value >= 0 for value in state.timestamps.values()), key
+
+    def test_pair_timestamps_reflect_latest_communication(self):
+        dsg = DynamicSkipGraph(keys=range(1, 33), config=DSGConfig(seed=33))
+        dsg.request(4, 20)
+        dsg.request(9, 25)
+        result = dsg.request(4, 20)
+        t = result.time
+        state = dsg.state(4)
+        assert state.timestamp(result.d_prime) == t

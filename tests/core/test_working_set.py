@@ -1,0 +1,110 @@
+"""Tests for the working set definitions (Section III), incl. the Fig. 2 example."""
+
+import math
+
+import pytest
+
+from repro.core.working_set import (
+    CommunicationHistory,
+    working_set_bound,
+    working_set_number,
+    working_set_numbers,
+)
+
+
+def fig2_sequence():
+    """The access pattern of Fig. 2(a).
+
+    The pattern shows, between two consecutive (u, v) communications, the
+    requests (u,v), (e,a), (k,u), (a,u), (e,k), (u,v).  The nodes reachable
+    from u or v in the resulting communication graph are e, a, k, u and v —
+    working set number 5.
+    """
+    u, v, e, a, k = "u", "v", "e", "a", "k"
+    return [(u, v), (e, a), (k, u), (a, u), (e, k), (u, v)]
+
+
+class TestWorkingSetNumber:
+    def test_first_time_pair_is_n(self):
+        history = [(1, 2)]
+        assert working_set_number(history, 0, total_nodes=10) == 10
+
+    def test_fig2_example_value_is_5(self):
+        history = fig2_sequence()
+        assert working_set_number(history, len(history) - 1, total_nodes=50) == 5
+
+    def test_immediate_repeat_is_2(self):
+        history = [(1, 2), (1, 2)]
+        assert working_set_number(history, 1, total_nodes=10) == 2
+
+    def test_unrelated_traffic_not_counted(self):
+        # Nodes 5 and 6 communicate between the two (1,2) requests but are
+        # not connected to 1 or 2 in the communication graph.
+        history = [(1, 2), (5, 6), (1, 2)]
+        assert working_set_number(history, 2, total_nodes=10) == 2
+
+    def test_connected_traffic_counted(self):
+        history = [(1, 2), (2, 5), (5, 6), (1, 2)]
+        assert working_set_number(history, 3, total_nodes=10) == 4
+
+    def test_pair_order_does_not_matter(self):
+        history = [(1, 2), (3, 1), (2, 1)]
+        assert working_set_number(history, 2, total_nodes=10) == 3
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            working_set_number([(1, 2)], 5, total_nodes=10)
+
+    def test_working_set_numbers_convenience(self):
+        history = [(1, 2), (1, 2), (3, 4)]
+        assert working_set_numbers(history, total_nodes=8) == [8, 2, 8]
+
+
+class TestWorkingSetBound:
+    def test_bound_sums_logs(self):
+        history = [(1, 2), (1, 2), (1, 2)]
+        expected = math.log2(4) + math.log2(2) + math.log2(2)
+        assert working_set_bound(history, total_nodes=4) == pytest.approx(expected)
+
+    def test_bound_monotone_in_sequence_length(self):
+        history = [(1, 2), (3, 4), (1, 2)]
+        assert working_set_bound(history[:2], 8) < working_set_bound(history, 8)
+
+    def test_custom_base(self):
+        history = [(1, 2)]
+        assert working_set_bound(history, 8, base=8) == pytest.approx(1.0)
+
+
+class TestCommunicationHistory:
+    def test_record_matches_offline_definition(self):
+        sequence = fig2_sequence() + [(1, 2), ("e", "k"), (1, 2)]
+        tracker = CommunicationHistory(total_nodes=30)
+        online = [tracker.record(u, v) for u, v in sequence]
+        offline = working_set_numbers(sequence, total_nodes=30)
+        assert online == offline
+
+    def test_len_and_bound(self):
+        tracker = CommunicationHistory(total_nodes=10)
+        tracker.record(1, 2)
+        tracker.record(1, 2)
+        assert len(tracker) == 2
+        assert tracker.working_set_bound() == pytest.approx(math.log2(10) + 1.0)
+
+    def test_peek_does_not_mutate(self):
+        tracker = CommunicationHistory(total_nodes=10)
+        tracker.record(1, 2)
+        peeked = tracker.peek(1, 2)
+        assert peeked == 2
+        assert len(tracker) == 1
+
+    def test_peek_first_time_pair(self):
+        tracker = CommunicationHistory(total_nodes=10)
+        assert tracker.peek(3, 4) == 10
+
+    def test_last_time_of_pair(self):
+        tracker = CommunicationHistory(total_nodes=10)
+        tracker.record(1, 2)
+        tracker.record(3, 4)
+        assert tracker.last_time_of_pair(1, 2) == 0
+        assert tracker.last_time_of_pair(2, 1) == 0
+        assert tracker.last_time_of_pair(1, 3) is None

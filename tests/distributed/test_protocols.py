@@ -1,0 +1,144 @@
+"""Tests for the message-level protocols (CONGEST conformance, E11)."""
+
+import math
+
+import pytest
+
+from repro.core.amf import approximate_median
+from repro.distributed import (
+    run_amf_protocol,
+    run_list_broadcast,
+    run_routing_protocol,
+    run_sum_protocol,
+)
+from repro.distributed.sum_protocol import segment_tree
+from repro.simulation.message import WORD_BITS
+from repro.simulation.rng import make_rng
+from repro.skipgraph import build_balanced_skip_graph, route
+from repro.skiplist import BalancedSkipList
+
+
+def congest_budget(n: int, words: int = 8) -> int:
+    """A generous c * log2(n) message-size budget in bits."""
+    return words * WORD_BITS * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+class TestRoutingProtocol:
+    def test_path_matches_structural_routing(self):
+        graph = build_balanced_skip_graph(range(1, 33))
+        for source, destination in [(1, 32), (17, 4), (8, 9)]:
+            protocol = run_routing_protocol(graph, source, destination, seed=1)
+            structural = route(graph, source, destination)
+            assert protocol.path == structural.path
+            assert protocol.distance == structural.distance
+
+    def test_rounds_equal_hops(self):
+        graph = build_balanced_skip_graph(range(1, 65))
+        protocol = run_routing_protocol(graph, 1, 64, seed=2)
+        assert protocol.rounds == protocol.hops
+
+    def test_congest_conformance(self):
+        graph = build_balanced_skip_graph(range(1, 65))
+        protocol = run_routing_protocol(graph, 3, 62, seed=3)
+        assert protocol.congestion_violations == 0
+        assert protocol.max_message_bits <= congest_budget(64)
+
+    def test_self_route(self):
+        graph = build_balanced_skip_graph(range(1, 9))
+        protocol = run_routing_protocol(graph, 5, 5, seed=4)
+        assert protocol.path == [5]
+        assert protocol.distance == 0
+
+
+class TestBroadcastProtocol:
+    def test_everyone_reached(self):
+        members = list(range(1, 41))
+        result = run_list_broadcast(members, initiator=17)
+        assert sorted(result.reached) == members
+
+    def test_rounds_bounded_by_list_span(self):
+        members = list(range(1, 41))
+        result = run_list_broadcast(members, initiator=1)
+        assert result.rounds <= len(members) + 2
+
+    def test_initiator_must_be_member(self):
+        with pytest.raises(ValueError):
+            run_list_broadcast([1, 2, 3], initiator=9)
+
+    def test_congest_conformance(self):
+        result = run_list_broadcast(list(range(1, 60)), initiator=30)
+        assert result.congestion_violations == 0
+        assert result.max_message_bits <= congest_budget(60)
+
+    def test_single_member_list(self):
+        result = run_list_broadcast([5], initiator=5)
+        assert result.reached == [5]
+
+
+class TestSumProtocol:
+    def test_segment_tree_structure(self):
+        skiplist = BalancedSkipList(list(range(50)), a=4, rng=make_rng(1))
+        parents = segment_tree(skiplist)
+        assert parents[skiplist.root] is None
+        # Every non-root node has a parent that appears earlier in list order.
+        for child, parent in parents.items():
+            if parent is not None:
+                assert parent < child or parent == skiplist.root
+
+    def test_total_is_exact(self):
+        items = list(range(1, 81))
+        skiplist = BalancedSkipList(items, a=4, rng=make_rng(2))
+        result = run_sum_protocol(skiplist, {item: item for item in items}, seed=2)
+        assert result.total == sum(items)
+        assert result.received_by_all
+
+    def test_missing_value_rejected(self):
+        items = list(range(10))
+        skiplist = BalancedSkipList(items, a=4, rng=make_rng(3))
+        with pytest.raises(ValueError):
+            run_sum_protocol(skiplist, {item: 1 for item in items[:-1]})
+
+    def test_congest_conformance_and_rounds(self):
+        items = list(range(1, 200))
+        skiplist = BalancedSkipList(items, a=4, rng=make_rng(4))
+        result = run_sum_protocol(skiplist, {item: 1.0 for item in items}, seed=4)
+        assert result.congestion_violations == 0
+        assert result.max_message_bits <= congest_budget(len(items))
+        # Convergecast + broadcast over a tree of logarithmic depth.
+        assert result.rounds <= 6 * skiplist.height + 10
+
+
+class TestAMFProtocol:
+    def test_matches_structural_amf_quality(self):
+        rng = make_rng(5)
+        values = {i: float(rng.randrange(1000)) for i in range(1, 129)}
+        protocol = run_amf_protocol(values, a=4, seed=5)
+        assert protocol.satisfies_lemma1(list(values.values()), a=4)
+        structural = approximate_median(values, a=4, rng=make_rng(5))
+        assert structural.satisfies_lemma1(4)
+
+    def test_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            run_amf_protocol({1: 1.0}, a=4)
+        with pytest.raises(ValueError):
+            run_amf_protocol({1: 1.0, 2: 2.0}, a=1)
+
+    def test_congest_conformance(self):
+        rng = make_rng(6)
+        values = {i: float(rng.random()) for i in range(1, 200)}
+        protocol = run_amf_protocol(values, a=4, seed=6)
+        assert protocol.congestion_violations == 0
+        assert protocol.max_message_bits <= congest_budget(len(values))
+
+    def test_rounds_scale_gently_with_n(self):
+        rounds = {}
+        for n in (64, 256):
+            rng = make_rng(n)
+            values = {i: float(rng.random()) for i in range(n)}
+            rounds[n] = run_amf_protocol(values, a=4, seed=n).rounds
+        assert rounds[256] <= rounds[64] * 4
+
+    def test_median_is_an_input_value(self):
+        values = {i: float(i * 3 % 17) for i in range(1, 50)}
+        protocol = run_amf_protocol(values, a=4, seed=7)
+        assert protocol.median in set(values.values())

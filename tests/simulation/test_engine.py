@@ -1,0 +1,280 @@
+"""Unit and integration tests for the synchronous CONGEST engine."""
+
+from typing import List
+
+import pytest
+
+from repro.simulation import (
+    CongestionError,
+    LinkError,
+    Message,
+    MessageSizeError,
+    Network,
+    NodeProcess,
+    RoundContext,
+    Simulator,
+    SimulatorConfig,
+)
+from repro.simulation.errors import SimulationError
+
+
+def line_network(n: int) -> Network:
+    net = Network()
+    for i in range(n - 1):
+        net.add_link(i, i + 1, label="line")
+    return net
+
+
+class TokenForwarder(NodeProcess):
+    """Forwards a token to the right neighbour; the last node keeps it."""
+
+    def __init__(self, node_id, n, start=False):
+        super().__init__(node_id)
+        self.n = n
+        self.start = start
+        if not start:
+            self.done = True  # passive until a token arrives
+
+    def on_start(self, ctx: RoundContext) -> None:
+        if self.start:
+            ctx.send(self.node_id + 1, "token", payload=self.node_id)
+            self.done = True
+
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for msg in inbox:
+            if msg.kind != "token":
+                continue
+            if self.node_id == self.n - 1:
+                self.result = msg.payload
+                self.done = True
+            else:
+                ctx.send(self.node_id + 1, "token", payload=msg.payload)
+                self.done = True
+
+
+class Chatterbox(NodeProcess):
+    """Sends two messages over the same link in one round (CONGEST violation)."""
+
+    def on_start(self, ctx: RoundContext) -> None:
+        ctx.send(1, "a")
+        ctx.send(1, "b")
+        self.done = True
+
+    def on_round(self, ctx, inbox):
+        self.done = True
+
+
+class Sink(NodeProcess):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received: List[Message] = []
+        self.done = True
+
+    def on_round(self, ctx, inbox):
+        self.received.extend(inbox)
+        self.done = True
+
+
+class TestTokenPassing:
+    def test_token_reaches_last_node_in_n_minus_1_rounds(self):
+        n = 6
+        net = line_network(n)
+        sim = Simulator(net)
+        sim.add_process(TokenForwarder(0, n, start=True))
+        for i in range(1, n):
+            sim.add_process(TokenForwarder(i, n))
+        metrics = sim.run()
+        assert sim.process(n - 1).result == 0
+        # one hop per round: the token crosses n-1 links in n-1 rounds
+        assert metrics.rounds == n - 1
+        assert metrics.total_messages == n - 1
+
+    def test_metrics_summary_keys(self):
+        n = 3
+        net = line_network(n)
+        sim = Simulator(net)
+        sim.add_process(TokenForwarder(0, n, start=True))
+        for i in range(1, n):
+            sim.add_process(TokenForwarder(i, n))
+        summary = sim.run().summary()
+        for key in ("rounds", "messages", "bits", "max_message_bits", "congestion_violations"):
+            assert key in summary
+        assert summary["congestion_violations"] == 0
+
+
+class TestCongestEnforcement:
+    def test_strict_mode_raises_on_double_send(self):
+        net = Network()
+        net.add_link(0, 1)
+        sim = Simulator(net, SimulatorConfig(strict_congest=True))
+        sim.add_process(Chatterbox(0))
+        sim.add_process(Sink(1))
+        with pytest.raises(CongestionError):
+            sim.run()
+
+    def test_lenient_mode_defers_and_counts(self):
+        net = Network()
+        net.add_link(0, 1)
+        sim = Simulator(net, SimulatorConfig(strict_congest=False))
+        sim.add_process(Chatterbox(0))
+        sink = Sink(1)
+        sim.add_process(sink)
+        metrics = sim.run()
+        assert metrics.congestion_violations == 1
+        assert len(sink.received) == 2  # second message arrives a round later
+
+    def test_missing_link_strict_raises(self):
+        net = Network()
+        net.add_node(0)
+        net.add_node(1)
+
+        class Bad(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(1, "x")
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = Simulator(net, SimulatorConfig(strict_links=True))
+        sim.add_process(Bad(0))
+        sim.add_process(Sink(1))
+        with pytest.raises(LinkError):
+            sim.run()
+
+    def test_missing_link_lenient_drops(self):
+        net = Network()
+        net.add_node(0)
+        net.add_node(1)
+
+        class Bad(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(1, "x")
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = Simulator(net, SimulatorConfig(strict_links=False))
+        sim.add_process(Bad(0))
+        sink = Sink(1)
+        sim.add_process(sink)
+        metrics = sim.run()
+        assert metrics.congestion_violations == 1
+        assert sink.received == []
+
+    def test_message_size_cap(self):
+        net = Network()
+        net.add_link(0, 1)
+
+        class BigSender(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(1, "big", payload=list(range(100)))
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        sim = Simulator(net, SimulatorConfig(max_message_bits=64))
+        sim.add_process(BigSender(0))
+        sim.add_process(Sink(1))
+        with pytest.raises(MessageSizeError):
+            sim.run()
+
+
+class TestEngineLifecycle:
+    def test_duplicate_process_rejected(self):
+        net = line_network(2)
+        sim = Simulator(net)
+        sim.add_process(Sink(0))
+        with pytest.raises(SimulationError):
+            sim.add_process(Sink(0))
+
+    def test_process_for_unknown_node_rejected(self):
+        net = line_network(2)
+        sim = Simulator(net)
+        with pytest.raises(LinkError):
+            sim.add_process(Sink(99))
+
+    def test_timeout_raises_by_default(self):
+        net = line_network(2)
+
+        class Restless(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(1 - self.node_id, "ping")
+
+            def on_round(self, ctx, inbox):
+                ctx.send(1 - self.node_id, "ping")
+
+        sim = Simulator(net, SimulatorConfig(max_rounds=10))
+        sim.add_process(Restless(0))
+        sim.add_process(Restless(1))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_timeout_allowed_when_configured(self):
+        net = line_network(2)
+
+        class Restless(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(1 - self.node_id, "ping")
+
+            def on_round(self, ctx, inbox):
+                ctx.send(1 - self.node_id, "ping")
+
+        sim = Simulator(net, SimulatorConfig(max_rounds=5, allow_timeout=True))
+        sim.add_process(Restless(0))
+        sim.add_process(Restless(1))
+        metrics = sim.run()
+        assert metrics.rounds <= 6
+
+    def test_memory_reporting(self):
+        net = line_network(2)
+
+        class Reporter(NodeProcess):
+            def on_start(self, ctx):
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+            def memory_words(self):
+                return 7
+
+        sim = Simulator(net)
+        sim.add_process(Reporter(0))
+        sim.add_process(Reporter(1))
+        sim.step()
+        assert sim.metrics.max_memory_words == 7
+
+    def test_results_collects_process_results(self):
+        n = 4
+        net = line_network(n)
+        sim = Simulator(net)
+        sim.add_process(TokenForwarder(0, n, start=True))
+        for i in range(1, n):
+            sim.add_process(TokenForwarder(i, n))
+        sim.run()
+        results = sim.results()
+        assert results[n - 1] == 0
+
+    def test_deterministic_rng_per_node(self):
+        net = line_network(3)
+
+        class Sampler(NodeProcess):
+            def on_start(self, ctx):
+                self.result = ctx.rng.random()
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                self.done = True
+
+        values = []
+        for _ in range(2):
+            sim = Simulator(net, SimulatorConfig(seed=7))
+            procs = [Sampler(i) for i in range(3)]
+            sim.add_processes(procs)
+            sim.run()
+            values.append(tuple(p.result for p in procs))
+        assert values[0] == values[1]
+        assert len(set(values[0])) == 3  # distinct streams per node

@@ -1,0 +1,103 @@
+"""Unit tests for the dynamic network topology container."""
+
+import pytest
+
+from repro.simulation import Network
+from repro.simulation.errors import LinkError
+
+
+@pytest.fixture
+def triangle():
+    net = Network()
+    net.add_link(1, 2, label="level0")
+    net.add_link(2, 3, label="level0")
+    net.add_link(1, 3, label="level1")
+    return net
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("a")
+        assert len(net) == 1
+
+    def test_contains(self):
+        net = Network()
+        net.add_node(5)
+        assert 5 in net
+        assert 6 not in net
+
+    def test_remove_node_drops_incident_links(self, triangle):
+        triangle.remove_node(2)
+        assert not triangle.has_node(2)
+        assert not triangle.has_link(1, 2)
+        assert triangle.has_link(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        net = Network()
+        with pytest.raises(LinkError):
+            net.remove_node(42)
+
+
+class TestLinks:
+    def test_add_link_registers_nodes(self):
+        net = Network()
+        net.add_link("x", "y")
+        assert net.has_node("x") and net.has_node("y")
+        assert net.has_link("x", "y") and net.has_link("y", "x")
+
+    def test_self_link_rejected(self):
+        net = Network()
+        with pytest.raises(LinkError):
+            net.add_link(1, 1)
+
+    def test_remove_link(self, triangle):
+        triangle.remove_link(1, 2)
+        assert not triangle.has_link(1, 2)
+
+    def test_remove_missing_link_raises(self, triangle):
+        with pytest.raises(LinkError):
+            triangle.remove_link(1, 99)
+
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(1) == {2, 3}
+        assert triangle.degree(1) == 2
+
+    def test_neighbors_of_unknown_node_raises(self, triangle):
+        with pytest.raises(LinkError):
+            triangle.neighbors(99)
+
+    def test_labels_accumulate(self):
+        net = Network()
+        net.add_link(1, 2, label="level0")
+        net.add_link(1, 2, label="level1")
+        assert net.labels(1, 2) == {"level0", "level1"}
+
+    def test_remove_single_label_keeps_link(self):
+        net = Network()
+        net.add_link(1, 2, label="level0")
+        net.add_link(1, 2, label="level1")
+        net.remove_link(1, 2, label="level0")
+        assert net.has_link(1, 2)
+        net.remove_link(1, 2, label="level1")
+        assert not net.has_link(1, 2)
+
+    def test_edge_count(self, triangle):
+        assert triangle.edge_count() == 3
+        assert len(list(triangle.edges())) == 3
+
+    def test_replace_links(self):
+        net = Network()
+        net.add_link(1, 2, label="L")
+        net.add_link(1, 3, label="L")
+        net.add_node(4)
+        net.replace_links(1, [4], label="L")
+        assert net.neighbors(1) == {4}
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_link(1, 2)
+        assert triangle.has_link(1, 2)
+        assert not clone.has_link(1, 2)
+        assert clone.labels(2, 3) == {"level0"}

@@ -1,0 +1,119 @@
+"""Unit tests for membership vectors."""
+
+import pytest
+
+from repro.skipgraph import MembershipVector, common_prefix_length
+
+
+class TestConstruction:
+    def test_from_string(self):
+        m = MembershipVector("0110")
+        assert m.bits == (0, 1, 1, 0)
+        assert str(m) == "0110"
+
+    def test_from_list_and_tuple(self):
+        assert MembershipVector([1, 0]).bits == (1, 0)
+        assert MembershipVector((0,)).bits == (0,)
+
+    def test_from_other_vector(self):
+        m = MembershipVector("01")
+        assert MembershipVector(m) == m
+
+    def test_empty(self):
+        assert len(MembershipVector()) == 0
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipVector([0, 2])
+
+
+class TestAccessors:
+    def test_bit_is_one_based_level(self):
+        m = MembershipVector("01")
+        assert m.bit(1) == 0
+        assert m.bit(2) == 1
+
+    def test_bit_level_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipVector("01").bit(0)
+
+    def test_prefix(self):
+        m = MembershipVector("0110")
+        assert m.prefix(2) == MembershipVector("01")
+        assert m.prefix(0) == MembershipVector("")
+
+    def test_prefix_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MembershipVector("01").prefix(-1)
+
+    def test_has_prefix(self):
+        m = MembershipVector("0110")
+        assert m.has_prefix("01")
+        assert m.has_prefix("")
+        assert not m.has_prefix("10")
+
+    def test_getitem_slice_returns_vector(self):
+        m = MembershipVector("0110")
+        assert m[:2] == MembershipVector("01")
+        assert m[1] == 1
+
+    def test_iteration(self):
+        assert list(MembershipVector("10")) == [1, 0]
+
+
+class TestDerivation:
+    def test_extended(self):
+        assert MembershipVector("0").extended("11") == MembershipVector("011")
+
+    def test_with_bit_replaces(self):
+        assert MembershipVector("00").with_bit(2, 1) == MembershipVector("01")
+
+    def test_with_bit_pads_with_zeros(self):
+        assert MembershipVector("1").with_bit(3, 1) == MembershipVector("101")
+
+    def test_with_bit_rejects_bad_level_or_bit(self):
+        with pytest.raises(ValueError):
+            MembershipVector().with_bit(0, 1)
+        with pytest.raises(ValueError):
+            MembershipVector().with_bit(1, 2)
+
+    def test_truncated(self):
+        assert MembershipVector("0110").truncated(2) == MembershipVector("01")
+
+    def test_original_is_unchanged(self):
+        m = MembershipVector("00")
+        m.with_bit(1, 1)
+        assert m == MembershipVector("00")
+
+
+class TestEqualityAndHash:
+    def test_equality_with_string_and_tuple(self):
+        assert MembershipVector("01") == "01"
+        assert MembershipVector("01") == (0, 1)
+        assert MembershipVector("01") != "10"
+
+    def test_equality_with_garbage_string(self):
+        assert MembershipVector("01") != "ab"
+
+    def test_hashable(self):
+        assert len({MembershipVector("01"), MembershipVector("01"), MembershipVector("10")}) == 2
+
+
+class TestCommonPrefixLength:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("0", "1", 0),
+            ("01", "01", 2),
+            ("0110", "0111", 3),
+            ("01", "0110", 2),
+            ("10", "01", 0),
+        ],
+    )
+    def test_pairs(self, a, b, expected):
+        assert common_prefix_length(a, b) == expected
+        assert common_prefix_length(b, a) == expected
+
+    def test_accepts_vectors(self):
+        assert common_prefix_length(MembershipVector("011"), MembershipVector("010")) == 2

@@ -1,0 +1,79 @@
+"""Tests for standard skip graph routing (Appendix B)."""
+
+import pytest
+
+from repro.skipgraph import build_balanced_skip_graph, build_skip_graph, route
+from repro.skipgraph.routing import routing_distance
+from repro.simulation.rng import make_rng
+
+
+@pytest.fixture
+def balanced_16():
+    return build_balanced_skip_graph(range(16))
+
+
+class TestBasicRouting:
+    def test_self_route_has_zero_distance(self, balanced_16):
+        result = route(balanced_16, 5, 5)
+        assert result.path == [5]
+        assert result.distance == 0
+        assert result.hops == 0
+
+    def test_adjacent_route(self, balanced_16):
+        result = route(balanced_16, 3, 4)
+        assert result.path[0] == 3
+        assert result.path[-1] == 4
+        assert result.distance == len(result.path) - 2
+
+    def test_unknown_endpoint_raises(self, balanced_16):
+        with pytest.raises(KeyError):
+            route(balanced_16, 0, 99)
+        with pytest.raises(KeyError):
+            route(balanced_16, 99, 0)
+
+    def test_path_endpoints_and_monotonicity_ascending(self, balanced_16):
+        result = route(balanced_16, 1, 14)
+        assert result.path[0] == 1
+        assert result.path[-1] == 14
+        assert all(a < b for a, b in zip(result.path, result.path[1:]))
+
+    def test_path_endpoints_and_monotonicity_descending(self, balanced_16):
+        result = route(balanced_16, 14, 1)
+        assert result.path[0] == 14
+        assert result.path[-1] == 1
+        assert all(a > b for a, b in zip(result.path, result.path[1:]))
+
+    def test_hop_levels_never_increase(self, balanced_16):
+        result = route(balanced_16, 0, 13)
+        assert result.hop_levels == sorted(result.hop_levels, reverse=True)
+
+    def test_rounds_equals_hops(self, balanced_16):
+        result = route(balanced_16, 0, 13)
+        assert result.rounds == result.hops == len(result.path) - 1
+
+
+class TestRoutingBounds:
+    def test_all_pairs_reachable_balanced(self):
+        graph = build_balanced_skip_graph(range(32))
+        for source in range(0, 32, 5):
+            for destination in range(32):
+                result = route(graph, source, destination)
+                assert result.path[-1] == destination
+
+    def test_balanced_distance_is_logarithmic(self):
+        n = 64
+        graph = build_balanced_skip_graph(range(n))
+        worst = max(routing_distance(graph, s, d) for s in range(0, n, 7) for d in range(n))
+        # Balanced skip graph routing visits at most ~2*log2(n) intermediate nodes.
+        assert worst <= 2 * 6
+
+    def test_random_membership_all_pairs_reachable(self):
+        graph = build_skip_graph(range(24), rng=make_rng(11))
+        for source in (0, 7, 23):
+            for destination in range(24):
+                assert route(graph, source, destination).path[-1] == destination
+
+    def test_distance_zero_for_level_neighbors(self, ):
+        graph = build_balanced_skip_graph(range(8))
+        # 0 and 1 share a list of size 2 at the top relevant level.
+        assert routing_distance(graph, 0, 1) == 0

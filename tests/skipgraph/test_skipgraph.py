@@ -1,0 +1,163 @@
+"""Unit tests for the SkipGraph structure, including the Fig. 1 example."""
+
+import pytest
+
+from repro.skipgraph import (
+    MembershipVector,
+    SkipGraph,
+    SkipGraphNode,
+    build_skip_graph_from_membership,
+)
+
+
+# The 6-node, 3-level example of Fig. 1: keys A < G < J < M < R < W with
+# membership vectors chosen so that level 1 splits into {A, J, M} (0-sublist)
+# and {G, R, W} (1-sublist), and level 2 isolates every node (M's vector is
+# "01": 0-sublist at level 1, 1-sublist at level 2, as stated in the paper).
+FIG1_MEMBERSHIP = {
+    "A": "00",
+    "J": "00",
+    "M": "01",
+    "G": "10",
+    "W": "10",
+    "R": "11",
+}
+
+
+@pytest.fixture
+def fig1():
+    return build_skip_graph_from_membership(FIG1_MEMBERSHIP)
+
+
+class TestPopulation:
+    def test_add_and_len(self):
+        graph = SkipGraph()
+        graph.add_node(SkipGraphNode(key=1, membership="0"))
+        graph.add_node(SkipGraphNode(key=2, membership="1"))
+        assert len(graph) == 2
+        assert 1 in graph and 3 not in graph
+
+    def test_duplicate_key_rejected(self):
+        graph = SkipGraph()
+        graph.add_node(SkipGraphNode(key=1))
+        with pytest.raises(ValueError):
+            graph.add_node(SkipGraphNode(key=1))
+
+    def test_remove_node(self):
+        graph = SkipGraph()
+        graph.add_node(SkipGraphNode(key=1, membership="0"))
+        graph.add_node(SkipGraphNode(key=2, membership="1"))
+        removed = graph.remove_node(1)
+        assert removed.key == 1
+        assert len(graph) == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            SkipGraph().remove_node(9)
+
+    def test_keys_sorted(self, fig1):
+        assert fig1.keys == sorted(FIG1_MEMBERSHIP)
+
+    def test_iteration_in_key_order(self, fig1):
+        assert [node.key for node in fig1] == sorted(FIG1_MEMBERSHIP)
+
+    def test_real_vs_dummy_keys(self):
+        graph = SkipGraph()
+        graph.add_node(SkipGraphNode(key=1, membership="0"))
+        graph.add_node(SkipGraphNode(key=2, membership="1", is_dummy=True))
+        assert graph.real_keys == [1]
+        assert graph.dummy_keys() == [2]
+
+
+class TestLevelLists:
+    def test_base_list_contains_everyone(self, fig1):
+        assert fig1.list_of("A", 0) == sorted(FIG1_MEMBERSHIP)
+
+    def test_level1_lists_match_fig1(self, fig1):
+        assert fig1.list_of("A", 1) == ["A", "J", "M"]
+        assert fig1.list_of("G", 1) == ["G", "R", "W"]
+
+    def test_level2_lists_match_fig1(self, fig1):
+        assert fig1.list_of("A", 2) == ["A", "J"]
+        assert fig1.list_of("M", 2) == ["M"]
+        assert fig1.list_of("G", 2) == ["G", "W"]
+        assert fig1.list_of("R", 2) == ["R"]
+
+    def test_list_members_requires_matching_prefix_length(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.list_members(2, "0")
+
+    def test_lists_at_level(self, fig1):
+        level1 = fig1.lists_at_level(1)
+        assert level1[(0,)] == ["A", "J", "M"]
+        assert level1[(1,)] == ["G", "R", "W"]
+
+    def test_lists_at_level_zero(self, fig1):
+        assert fig1.lists_at_level(0) == {(): sorted(FIG1_MEMBERSHIP)}
+
+    def test_neighbors(self, fig1):
+        assert fig1.neighbors("J", 1) == ("A", "M")
+        assert fig1.neighbors("A", 1) == (None, "J")
+        assert fig1.neighbors("M", 1) == ("J", None)
+        assert fig1.neighbors("M", 2) == (None, None)
+
+    def test_membership_change_moves_node(self, fig1):
+        fig1.set_membership("M", "11")
+        assert fig1.list_of("M", 1) == ["G", "M", "R", "W"]
+        assert fig1.list_of("A", 1) == ["A", "J"]
+
+    def test_cache_consistency_after_membership_change(self, fig1):
+        # Warm the cache, mutate, then verify derived lists are fresh.
+        assert fig1.list_of("A", 2) == ["A", "J"]
+        fig1.set_membership("J", "01")
+        assert fig1.list_of("A", 2) == ["A"]
+        assert fig1.list_of("J", 2) == ["J", "M"]
+
+
+class TestStructure:
+    def test_common_level(self, fig1):
+        assert fig1.common_level("A", "J") == 2
+        assert fig1.common_level("A", "M") == 1
+        assert fig1.common_level("A", "G") == 0
+
+    def test_singleton_level(self, fig1):
+        assert fig1.singleton_level("M") == 2
+        assert fig1.singleton_level("A") == 3
+
+    def test_height(self, fig1):
+        # A and J only separate at level 3 (their vectors are both "00", so
+        # the example graph needs one more level than the figure's 3 shown).
+        assert fig1.height() == 4
+
+    def test_height_of_trivial_graphs(self):
+        assert SkipGraph().height() == 1
+        single = SkipGraph([SkipGraphNode(key=1)])
+        assert single.height() == 1
+
+    def test_validate_rejects_shared_full_vectors(self):
+        graph = build_skip_graph_from_membership({1: "01", 2: "01"})
+        with pytest.raises(ValueError):
+            graph.validate()
+        assert not graph.is_valid()
+
+    def test_validate_accepts_fig1_after_separating_shared_vectors(self, fig1):
+        # The paper's Fig. 1 only shows the lowest 3 levels; A/J and G/W still
+        # share their (truncated) vectors, which validate() flags.  After one
+        # more level of separation the structure is a complete skip graph.
+        fig1.set_membership("A", "000")
+        fig1.set_membership("J", "001")
+        fig1.set_membership("G", "100")
+        fig1.set_membership("W", "101")
+        fig1.validate()
+        assert fig1.is_valid()
+
+    def test_copy_is_deep_for_membership(self, fig1):
+        clone = fig1.copy()
+        clone.set_membership("A", "111")
+        assert fig1.membership("A") == MembershipVector("00")
+        assert clone.membership("A") == MembershipVector("111")
+
+    def test_membership_table(self, fig1):
+        table = fig1.membership_table()
+        assert table["M"] == "01"
+        assert set(table) == set(FIG1_MEMBERSHIP)

@@ -1,0 +1,133 @@
+"""Tests for the balanced skip list and the distributed sum (Appendix D)."""
+
+import pytest
+
+from repro.skiplist import BalancedSkipList, SupportBounds, distributed_sum
+from repro.simulation.rng import make_rng
+
+
+class TestSupportBounds:
+    def test_for_parameter(self):
+        bounds = SupportBounds.for_parameter(4)
+        assert bounds.minimum == 2
+        assert bounds.maximum == 8
+
+    def test_small_a(self):
+        bounds = SupportBounds.for_parameter(2)
+        assert bounds.minimum == 1
+        assert bounds.maximum == 4
+
+
+class TestConstruction:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            BalancedSkipList([], a=4)
+        with pytest.raises(ValueError):
+            BalancedSkipList([1, 1, 2], a=4)
+        with pytest.raises(ValueError):
+            BalancedSkipList([1, 2, 3], a=1)
+
+    def test_single_item(self):
+        sl = BalancedSkipList([7], a=4, rng=make_rng(0))
+        assert sl.height == 1
+        assert sl.root == 7
+        assert sl.size == 1
+
+    def test_base_level_preserved(self):
+        items = list(range(100))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(1))
+        assert sl.level(0) == items
+
+    def test_root_is_leftmost(self):
+        sl = BalancedSkipList(list(range(50)), a=3, rng=make_rng(2))
+        assert sl.root == 0
+        assert sl.levels[-1] == [0]
+
+    def test_levels_shrink(self):
+        sl = BalancedSkipList(list(range(200)), a=4, rng=make_rng(3))
+        sizes = [len(level) for level in sl.levels]
+        assert all(later <= earlier for earlier, later in zip(sizes, sizes[1:]))
+        assert sizes[-1] == 1
+
+    def test_height_is_logarithmic(self):
+        for n in (64, 256, 1024):
+            sl = BalancedSkipList(list(range(n)), a=4, rng=make_rng(n))
+            # Support >= a/2 = 2 per promoted node gives height <= log2(n) + 2.
+            assert sl.height <= 2 + 2 * (n.bit_length())
+
+    def test_support_bounds_hold(self):
+        for seed in range(5):
+            sl = BalancedSkipList(list(range(300)), a=4, rng=make_rng(seed))
+            assert sl.is_support_bounded()
+
+    def test_construction_rounds_positive_and_bounded(self):
+        sl = BalancedSkipList(list(range(256)), a=4, rng=make_rng(9))
+        assert sl.construction_rounds > 0
+        # Each level costs at most 1 + 2a + repair rounds; O(log n) levels.
+        assert sl.construction_rounds <= (sl.height - 1) * (1 + 8 + sl.REPAIR_ROUNDS_PER_LEVEL)
+
+    def test_segments_partition_level(self):
+        sl = BalancedSkipList(list(range(120)), a=4, rng=make_rng(4))
+        for level in range(sl.height - 1):
+            segments = sl.segments(level)
+            covered = [item for _, members in segments for item in members]
+            assert covered == sl.level(level)
+            owners = [owner for owner, _ in segments]
+            assert owners == sl.level(level + 1)
+
+    def test_supports_match_segments(self):
+        sl = BalancedSkipList(list(range(64)), a=4, rng=make_rng(5))
+        supports = sl.supports(0)
+        assert all(count >= 1 for count in supports)
+        assert sum(supports) <= len(sl.level(0))
+
+
+class TestPrimitives:
+    def test_broadcast_rounds_positive(self):
+        sl = BalancedSkipList(list(range(100)), a=4, rng=make_rng(6))
+        assert sl.broadcast_rounds() >= sl.height - 1
+
+    def test_convergecast_rounds_positive(self):
+        sl = BalancedSkipList(list(range(100)), a=4, rng=make_rng(6))
+        assert sl.convergecast_rounds() >= sl.height - 1
+
+
+class TestDistributedSum:
+    def test_sum_correct(self):
+        items = list(range(1, 101))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(7))
+        result = distributed_sum(sl, {item: item for item in items})
+        assert result.total == sum(items)
+
+    def test_sum_with_weights(self):
+        items = list(range(50))
+        sl = BalancedSkipList(items, a=3, rng=make_rng(8))
+        values = {item: (1.0 if item % 2 else 0.0) for item in items}
+        result = distributed_sum(sl, values)
+        assert result.total == 25.0
+
+    def test_missing_value_rejected(self):
+        items = list(range(10))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(9))
+        with pytest.raises(ValueError):
+            distributed_sum(sl, {item: 1 for item in items[:-1]})
+
+    def test_rounds_are_logarithmic(self):
+        items = list(range(512))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(10))
+        result = distributed_sum(sl, {item: 1 for item in items})
+        # Per level the longest segment is at most 2a + 1; O(log n) levels.
+        assert result.rounds <= (sl.height - 1) * (2 * 4 + 1) + sl.broadcast_rounds()
+
+    def test_rounds_exclude_broadcast_when_requested(self):
+        items = list(range(64))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(11))
+        with_broadcast = distributed_sum(sl, {item: 1 for item in items})
+        without = distributed_sum(sl, {item: 1 for item in items}, include_broadcast=False)
+        assert without.rounds < with_broadcast.rounds
+
+    def test_partials_cover_total(self):
+        items = list(range(30))
+        sl = BalancedSkipList(items, a=4, rng=make_rng(12))
+        result = distributed_sum(sl, {item: 1 for item in items})
+        assert sum(result.partials.values()) == 30

@@ -1,0 +1,91 @@
+"""Tests for the classic probabilistic skip list."""
+
+import pytest
+
+from repro.skiplist import SkipList
+from repro.simulation.rng import make_rng
+
+
+@pytest.fixture
+def populated():
+    sl = SkipList(rng=make_rng(1))
+    for key in range(0, 100, 2):
+        sl.insert(key, key * 10)
+    return sl
+
+
+class TestBasics:
+    def test_len_and_bool(self):
+        sl = SkipList(rng=make_rng(0))
+        assert len(sl) == 0 and not sl
+        sl.insert(1, "a")
+        assert len(sl) == 1 and sl
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SkipList(p=0.0)
+        with pytest.raises(ValueError):
+            SkipList(p=1.0)
+
+    def test_search_found_and_missing(self, populated):
+        assert populated.search(42) == 420
+        with pytest.raises(KeyError):
+            populated.search(43)
+
+    def test_contains_and_get(self, populated):
+        assert 42 in populated
+        assert 43 not in populated
+        assert populated.get(43, "default") == "default"
+
+    def test_insert_replaces_value(self, populated):
+        populated.insert(42, "new")
+        assert populated.search(42) == "new"
+        assert len(populated) == 50
+
+    def test_delete(self, populated):
+        populated.delete(42)
+        assert 42 not in populated
+        assert len(populated) == 49
+
+    def test_delete_missing_raises(self, populated):
+        with pytest.raises(KeyError):
+            populated.delete(43)
+
+    def test_keys_sorted(self, populated):
+        keys = list(populated.keys())
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_items(self, populated):
+        items = dict(populated.items())
+        assert items[10] == 100
+
+    def test_from_items(self):
+        sl = SkipList.from_items([(3, "c"), (1, "a"), (2, "b")], rng=make_rng(5))
+        assert list(sl.keys()) == [1, 2, 3]
+
+
+class TestComplexity:
+    def test_height_grows_logarithmically(self):
+        sl = SkipList(rng=make_rng(7))
+        for key in range(512):
+            sl.insert(key)
+        # Expected height ~ log2(512) = 9; allow generous slack.
+        assert sl.height <= 4 * 9
+
+    def test_search_path_is_short_on_average(self):
+        sl = SkipList(rng=make_rng(11))
+        n = 256
+        for key in range(n):
+            sl.insert(key)
+        average = sum(sl.search_path_length(key) for key in range(n)) / n
+        assert average <= 4 * 8  # ~ O(log n) with the p=1/2 constant
+
+    def test_delete_shrinks_height_eventually(self):
+        sl = SkipList(rng=make_rng(3))
+        for key in range(64):
+            sl.insert(key)
+        for key in range(1, 64):
+            sl.delete(key)
+        assert len(sl) == 1
+        assert sl.height <= 8

@@ -1,0 +1,33 @@
+"""Smoke tests for the top-level public API (`import repro`)."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_core_types_exposed(self):
+        assert repro.DynamicSkipGraph is not None
+        assert repro.DSGConfig is not None
+        assert repro.SkipGraph is not None
+        assert repro.BalancedSkipList is not None
+
+    def test_workload_registry_exposed(self):
+        assert "uniform" in repro.WORKLOADS
+        assert "hot-pairs" in repro.WORKLOADS
+
+    def test_experiment_registry_exposed(self):
+        assert set(repro.EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_quickstart_docstring_flow(self):
+        dsg = repro.DynamicSkipGraph(keys=range(1, 17), config=repro.DSGConfig(seed=1))
+        dsg.request(3, 12)
+        assert dsg.request(3, 12).routing_cost == 0
+
+    def test_module_docstring_mentions_paper(self):
+        assert "Self-Adjusting Skip Graphs" in repro.__doc__

@@ -1,0 +1,95 @@
+"""E13 scale benchmark: a 10k-node, 100k+-request scenario with churn.
+
+Three measurements:
+
+* ``test_e13_scale_scenario`` — the headline run: 10,000 nodes, >= 100,000
+  requests (heavy-hitter pairs, far-pair trickle, two flash crowds, steady
+  join/leave churn) executed end to end through the batched request
+  pipeline, working-set tracking on.
+* ``test_e13_batch_identical_to_sequential`` — the batched
+  ``run_requests()`` pipeline replays a sequence with per-request Equation 1
+  costs identical to a sequential ``request()`` loop on the same seed (the
+  acceptance bar for batching: amortize the bookkeeping, never the
+  algorithm).
+* ``test_e13_routing_fastpath_speedup`` — the cached O(expected hops)
+  ``route()`` against the scan-based executable specification
+  ``route_reference()`` (the seed implementation) on a 10k-node graph.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e13_scale.py -q
+"""
+
+import time
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.simulation.rng import make_rng
+from repro.skipgraph import build_balanced_skip_graph
+from repro.skipgraph.routing import route, route_reference
+from repro.workloads import generate_workload, run_scenario, scale_scenario
+
+N = 10_000
+REQUESTS = 101_000  # schedule slots; > 100k remain requests after churn slots
+
+
+def test_e13_scale_scenario(run_once):
+    scenario = scale_scenario(
+        n=N,
+        length=REQUESTS,
+        seed=42,
+        hot_pair_count=64,
+        cross_pair_count=2,
+        flash_count=2,
+        crowd_size=12,
+        churn_rate=0.0003,
+    )
+    assert scenario.request_count >= 100_000
+    report = run_once(run_scenario, scenario, DSGConfig(seed=1))
+    assert report.requests >= 100_000
+    assert report.final_nodes == report.initial_nodes + report.joins - report.leaves
+    assert report.joins > 0 and report.leaves > 0
+    assert report.average_cost > 0
+    print(
+        f"\n[e13-scale] n={report.initial_nodes} requests={report.requests} "
+        f"joins={report.joins} leaves={report.leaves} "
+        f"elapsed={report.elapsed_seconds:.1f}s "
+        f"throughput={report.requests_per_second:.0f} req/s "
+        f"avg_cost={report.average_cost:.1f} max_height={report.max_height} "
+        f"dummies={report.dummy_count}"
+    )
+
+
+def test_e13_batch_identical_to_sequential(run_once):
+    keys = list(range(1, 257))
+    requests = generate_workload("temporal", keys, 800, seed=3, working_set_size=10)
+
+    sequential = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=5))
+    sequential_costs = [sequential.request(u, v).cost for u, v in requests]
+
+    batched = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=5))
+    outcome = run_once(batched.run_requests, requests, keep_results=False)
+
+    assert outcome.costs == sequential_costs
+    assert batched.total_cost() == sequential.total_cost()
+    assert batched.results == []  # keep_results=False retains aggregates only
+
+
+def test_e13_routing_fastpath_speedup(benchmark):
+    graph = build_balanced_skip_graph(range(1, N + 1))
+    rng = make_rng(7)
+    pairs = [tuple(rng.sample(range(1, N + 1), 2)) for _ in range(64)]
+
+    def fast():
+        return sum(route(graph, u, v).distance for u, v in pairs)
+
+    total_fast = benchmark(fast)
+
+    started = time.perf_counter()
+    total_reference = sum(route_reference(graph, u, v).distance for u, v in pairs)
+    reference_elapsed = time.perf_counter() - started
+
+    assert total_fast == total_reference
+    fast_elapsed = benchmark.stats.stats.mean
+    speedup = reference_elapsed / fast_elapsed
+    print(f"\n[e13-routing] fast={fast_elapsed*1e3:.2f}ms reference={reference_elapsed*1e3:.0f}ms speedup={speedup:.0f}x")
+    assert speedup >= 5.0

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -49,7 +50,7 @@ from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.routing import RoutingResult, route
 from repro.skipgraph.skipgraph import SkipGraph
 
-__all__ = ["DSGConfig", "DynamicSkipGraph", "RequestResult"]
+__all__ = ["BatchOutcome", "DSGConfig", "DynamicSkipGraph", "RequestResult"]
 
 Key = Hashable
 
@@ -127,6 +128,37 @@ class RequestResult:
         return math.log2(self.working_set_number)
 
 
+@dataclass
+class BatchOutcome:
+    """Aggregate result of one :meth:`DynamicSkipGraph.run_requests` call.
+
+    ``costs[i]`` is the Equation 1 cost of the ``i``-th request of the batch
+    — identical, request by request, to what a sequential
+    :meth:`DynamicSkipGraph.request` loop would have produced on the same
+    instance and seed (the batch path shares the per-request core and only
+    amortizes validation and bookkeeping around it).
+    """
+
+    served: int
+    costs: List[int]
+    total_cost: int
+    total_routing_cost: int
+    final_height: int
+    max_height: int
+    elapsed_seconds: float
+    results: Optional[List[RequestResult]] = None
+
+    @property
+    def average_cost(self) -> float:
+        return self.total_cost / self.served if self.served else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.served / self.elapsed_seconds
+
+
 class DynamicSkipGraph:
     """A self-adjusting skip graph driven by the DSG algorithm."""
 
@@ -154,14 +186,18 @@ class DynamicSkipGraph:
         self._check_keys(self.graph.real_keys)
 
         self.states: Dict[Key, DSGNodeState] = {}
+        singleton_levels = self.graph.singleton_levels()
         for key in self.graph.real_keys:
             state = DSGNodeState(key=key)
-            state.group_base = initial_group_base(self.graph.singleton_level(key))
+            state.group_base = initial_group_base(singleton_levels[key])
             self.states[key] = state
 
         self._time = 0
         self.history = CommunicationHistory(total_nodes=len(self.graph.real_keys))
         self.results: List[RequestResult] = []
+        self._served = 0
+        self._total_cost = 0
+        self._total_routing_cost = 0
 
     # ------------------------------------------------------------------ misc
     @staticmethod
@@ -199,12 +235,7 @@ class DynamicSkipGraph:
         property, in which case the list is slightly larger but the pair is
         still adjacent in it).
         """
-        level = self.graph.common_level(u, v)
-        members = self.graph.list_of(u, level)
-        if v not in members:
-            return False
-        index_u, index_v = members.index(u), members.index(v)
-        return abs(index_u - index_v) == 1
+        return self.graph.are_adjacent(u, v, self.graph.common_level(u, v))
 
     def memory_words_per_node(self) -> Dict[Key, int]:
         """Words of DSG state per node (E11 memory audit)."""
@@ -218,10 +249,18 @@ class DynamicSkipGraph:
             raise ValueError("source and destination must differ")
         if not self.graph.has_node(source) or not self.graph.has_node(destination):
             raise KeyError(f"unknown endpoint in request ({source!r}, {destination!r})")
+        return self._serve(source, destination, keep_result=True)
 
+    def _serve(self, u: Key, v: Key, keep_result: bool) -> RequestResult:
+        """The per-request core shared by :meth:`request` and :meth:`run_requests`.
+
+        Endpoints are assumed validated.  The computation (routing, working
+        set accounting, adjustment, RNG draws) is identical either way, which
+        is what guarantees batched and sequential runs produce the same
+        per-request costs on the same seed.
+        """
         self._time += 1
         t = self._time
-        u, v = source, destination
 
         routing = route(self.graph, u, v)
         working_set = self.history.record(u, v) if self.config.track_working_set else None
@@ -235,15 +274,78 @@ class DynamicSkipGraph:
             working_set_number=working_set,
         )
 
-        if not self.config.adjust:
-            result.height_after = self.height()
-            self.results.append(result)
-            return result
+        if self.config.adjust:
+            self._adjust(result, u, v, t)
 
-        self._adjust(result, u, v, t)
         result.height_after = self.height()
-        self.results.append(result)
+        self._served += 1
+        self._total_cost += result.cost
+        self._total_routing_cost += result.routing.distance
+        if keep_result:
+            self.results.append(result)
         return result
+
+    def run_requests(
+        self,
+        requests: Sequence[Tuple[Key, Key]],
+        keep_results: bool = True,
+    ) -> BatchOutcome:
+        """Serve a request batch through an amortized pipeline.
+
+        Endpoint validation is hoisted out of the loop (one membership check
+        per distinct endpoint instead of two per request) and, with
+        ``keep_results=False``, the per-request :class:`RequestResult`
+        objects are released as soon as their cost is extracted — the mode
+        large scenario runs use so that a million-request batch does not
+        accumulate result objects.  Aggregates (:meth:`total_cost`,
+        :meth:`average_cost`, the working set bound) stay exact either way
+        because they are maintained as running counters.
+
+        Per-request costs are identical to a sequential :meth:`request` loop
+        over the same sequence: both paths run :meth:`_serve`, the batch
+        pipeline only amortizes the work around it.
+        """
+        pairs = list(requests)
+        has_node = self.graph.has_node
+        validated = set()
+        for u, v in pairs:
+            if u == v:
+                raise ValueError("source and destination must differ")
+            if u not in validated:
+                if not has_node(u):
+                    raise KeyError(f"unknown endpoint in request ({u!r}, {v!r})")
+                validated.add(u)
+            if v not in validated:
+                if not has_node(v):
+                    raise KeyError(f"unknown endpoint in request ({u!r}, {v!r})")
+                validated.add(v)
+
+        serve = self._serve
+        costs: List[int] = []
+        append_cost = costs.append
+        batch_cost = 0
+        batch_routing = 0
+        max_height = 0
+        started = time.perf_counter()
+        for u, v in pairs:
+            result = serve(u, v, keep_result=keep_results)
+            cost = result.cost
+            append_cost(cost)
+            batch_cost += cost
+            batch_routing += result.routing.distance
+            if result.height_after > max_height:
+                max_height = result.height_after
+        elapsed = time.perf_counter() - started
+        return BatchOutcome(
+            served=len(pairs),
+            costs=costs,
+            total_cost=batch_cost,
+            total_routing_cost=batch_routing,
+            final_height=self.height(),
+            max_height=max_height,
+            elapsed_seconds=elapsed,
+            results=self.results[-len(pairs):] if keep_results and pairs else ([] if keep_results else None),
+        )
 
     def _adjust(self, result: RequestResult, u: Key, v: Key, t: int) -> None:
         """Steps 2-12 of Algorithm 1."""
@@ -287,21 +389,31 @@ class DynamicSkipGraph:
         priorities = compute_priorities(self.states, members, u, v, alpha, t, height)
         merged = merge_groups_at_alpha(self.states, members, u, v, alpha)
 
+        # The G_lower alignment is only needed when the pair's groups
+        # disagreed below alpha (Appendix C); mirroring glower_update's own
+        # early exits here keeps the wider-list scan off the hot path — in
+        # the steady state (repeated pairs, shared group) no node ever has to
+        # enumerate the wider list.
         glower_rounds = 0
-        wide_level = min(max(self.states[u].group_base, self.states[v].group_base), alpha)
-        wider_members = [
-            key for key in graph.list_of(u, wide_level) if not graph.node(key).is_dummy
-        ]
-        glower_participants = glower_update(
-            states=self.states,
-            alpha_members=members,
-            wider_members=wider_members,
-            u=u,
-            v=v,
-            alpha=alpha,
+        glower_participants: set = set()
+        needs_glower = alpha > 0 and (
+            self.states[u].group_id(alpha - 1) != self.states[v].group_id(alpha - 1)
         )
-        if glower_participants:
-            glower_rounds = height + max(1, math.ceil(math.log2(max(2, len(wider_members)))))
+        if needs_glower:
+            wide_level = min(max(self.states[u].group_base, self.states[v].group_base), alpha)
+            wider_members = [
+                key for key in graph.list_of(u, wide_level) if not graph.node(key).is_dummy
+            ]
+            glower_participants = glower_update(
+                states=self.states,
+                alpha_members=members,
+                wider_members=wider_members,
+                u=u,
+                v=v,
+                alpha=alpha,
+            )
+            if glower_participants:
+                glower_rounds = height + max(1, math.ceil(math.log2(max(2, len(wider_members)))))
 
         # After the merge, the (large) merged group at level ``alpha`` is the
         # biggest group its members belong to, so their group-base drops to
@@ -362,7 +474,11 @@ class DynamicSkipGraph:
         result.dummies_added = len(outcome.dummies_added)
 
     def run_sequence(self, requests: Sequence[Tuple[Key, Key]]) -> List[RequestResult]:
-        """Serve every request of ``requests`` in order."""
+        """Serve every request of ``requests`` in order.
+
+        Sequential convenience wrapper (per-request validation, results
+        kept); use :meth:`run_requests` for large batches.
+        """
         return [self.request(u, v) for u, v in requests]
 
     # ------------------------------------------------------------ node churn
@@ -410,22 +526,34 @@ class DynamicSkipGraph:
         Returns the number of dummies inserted.  Used after node addition or
         removal (Section IV-G); per-transformation maintenance happens inside
         :func:`repro.core.transformation.transform`.
+
+        Every violation reported by one scan is repaired before rescanning:
+        the runs of a scan are disjoint, so their repairs are independent,
+        and a dummy can only create *new* runs in ancestor lists — which the
+        next scan round picks up.  This keeps the number of O(n * height)
+        scans proportional to the cascade depth instead of the dummy count.
         """
         inserted = 0
         for _ in range(2 * len(self.graph) + 1):
             violations = a_balance_violations(self.graph, self.config.a)
             if not violations:
                 break
-            violation = violations[0]
-            run = list(violation.run_keys)
-            lower, upper = run[self.config.a - 1], run[self.config.a]
-            dummy_key = self._dummy_key_between(lower, upper)
-            if dummy_key is None:
+            progressed = False
+            for violation in violations:
+                run = list(violation.run_keys)
+                lower, upper = run[self.config.a - 1], run[self.config.a]
+                dummy_key = self._dummy_key_between(lower, upper)
+                if dummy_key is None:
+                    continue
+                prefix = self.graph.membership(lower).prefix(violation.level)
+                membership = MembershipVector(prefix.bits + (1 - violation.bit,))
+                self.graph.add_node(
+                    SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True)
+                )
+                inserted += 1
+                progressed = True
+            if not progressed:
                 break
-            prefix = self.graph.membership(lower).prefix(violation.level)
-            membership = MembershipVector(prefix.bits + (1 - violation.bit,))
-            self.graph.add_node(SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True))
-            inserted += 1
         return inserted
 
     def _dummy_key_between(self, lower: Key, upper: Key) -> Optional[Key]:
@@ -442,18 +570,26 @@ class DynamicSkipGraph:
         return None
 
     # --------------------------------------------------------------- analysis
+    def requests_served(self) -> int:
+        """Number of requests served so far (kept or not)."""
+        return self._served
+
     def total_cost(self) -> int:
-        """Sum of per-request costs (Equation 1 numerator)."""
-        return sum(result.cost for result in self.results)
+        """Sum of per-request costs (Equation 1 numerator).
+
+        Maintained as a running counter so it covers every request served —
+        including batches run with ``keep_results=False`` — at O(1) cost.
+        """
+        return self._total_cost
 
     def average_cost(self) -> float:
         """Average cost per request served so far (Equation 1)."""
-        if not self.results:
+        if not self._served:
             return 0.0
-        return self.total_cost() / len(self.results)
+        return self._total_cost / self._served
 
     def total_routing_cost(self) -> int:
-        return sum(result.routing_cost for result in self.results)
+        return self._total_routing_cost
 
     def working_set_bound(self) -> float:
         """``WS(σ)`` of the sequence served so far (Theorem 1 lower bound)."""

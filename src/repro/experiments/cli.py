@@ -29,6 +29,18 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = ["main", "build_parser"]
 
 #: Reduced parameters used by ``--quick`` (keyed by experiment id).
+#:
+#: Semantics: when ``dsg-experiments run <id> --quick`` is given, the entry
+#: for ``<id>`` is passed as keyword arguments to the experiment's ``run()``
+#: in place of its (paper-sized) defaults — the experiment code itself has
+#: no notion of a quick mode.  The values shrink the *sizes* (node counts,
+#: sequence lengths, trial counts), never the logic: every check an
+#: experiment performs still runs, so a quick pass is a faithful smoke test
+#: of the full pipeline (CI runs ``run E1 --quick``), just on instances
+#: small enough to finish in seconds.  ``--seed`` composes with these: an
+#: explicit seed is merged into the same parameter dict.  Experiments
+#: without an entry (e.g. E4, which replays the fixed Fig. 4 example) run
+#: identically in both modes.
 QUICK_PARAMS = {
     "E1": {"sizes": (16, 64)},
     "E2": {"n": 32, "length": 80},
@@ -42,6 +54,14 @@ QUICK_PARAMS = {
     "E10": {"n": 32, "length": 80, "a_values": (2, 4)},
     "E11": {"sizes": (32, 64)},
     "E12": {"sizes": (64, 256), "n": 32, "length": 80},
+    "E13": {
+        "n": 128,
+        "length": 400,
+        "zipf_n": 48,
+        "zipf_length": 150,
+        "consistency_n": 48,
+        "consistency_length": 120,
+    },
 }
 
 

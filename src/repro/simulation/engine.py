@@ -17,16 +17,25 @@ Messages may only travel over links present in the :class:`Network` at send
 time; sending to a non-neighbour raises :class:`LinkError` (strict mode) or
 drops the message with a recorded violation (lenient mode).
 
-The engine stops when every process reports ``done`` and no messages are in
-flight, or when ``max_rounds`` is exceeded (which raises ``SimulationError``
-unless ``allow_timeout`` is set).
+Churn and other externally driven events are injected with
+:meth:`Simulator.schedule`: a callback registered for round ``r`` runs at
+the very start of that round, before deliveries, and may mutate the network
+(add/remove nodes and links) and register new processes.  This is the
+engine-level counterpart of the workload-level scenario schedules in
+:mod:`repro.workloads.scenarios` (which drive the DSG front end directly):
+use it to replay a :class:`~repro.workloads.scenarios.Scenario`'s join/
+leave events against a protocol simulation.
+
+The engine stops when every process reports ``done``, no messages are in
+flight and no scheduled events remain, or when ``max_rounds`` is exceeded
+(which raises ``SimulationError`` unless ``allow_timeout`` is set).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
 from repro.simulation.errors import CongestionError, LinkError, MessageSizeError, SimulationError
 from repro.simulation.message import Message
@@ -81,6 +90,7 @@ class Simulator:
         self._rngs: Dict[Hashable, "random.Random"] = {}
         self._pending: List[Message] = []  # sent this round, delivered next round
         self._deferred: List[Message] = []  # congestion overflow (lenient mode)
+        self._scheduled: Dict[int, List[Callable[["Simulator"], None]]] = defaultdict(list)
         self._root_rng = make_rng(self.config.seed)
         self._round = 0
         self._started = False
@@ -102,6 +112,22 @@ class Simulator:
 
     def process(self, node: Hashable) -> NodeProcess:
         return self._processes[node]
+
+    def schedule(self, round_index: int, callback: Callable[["Simulator"], None]) -> None:
+        """Register ``callback`` to run at the start of round ``round_index``.
+
+        The callback receives the simulator and runs before that round's
+        deliveries are planned, so it may inject churn: mutate the network,
+        add processes (:meth:`add_process`) for joining nodes, or mark
+        processes of departing nodes.  Rounds with pending events count as
+        activity — the run does not quiesce while scheduled events remain.
+        """
+        if round_index < self._round:
+            raise SimulationError(
+                f"cannot schedule an event for round {round_index}; the "
+                f"simulation is already at round {self._round}"
+            )
+        self._scheduled[round_index].append(callback)
 
     @property
     def processes(self) -> Dict[Hashable, NodeProcess]:
@@ -132,6 +158,13 @@ class Simulator:
         """Execute exactly one synchronous round."""
         if not self._started:
             self._start_processes()
+        # Drain in a loop so a callback scheduling another event for the
+        # *current* round still gets it executed this round.
+        pending = self._scheduled.pop(self._round, [])
+        while pending:
+            for callback in pending:
+                callback(self)
+            pending = self._scheduled.pop(self._round, [])
         stats = self.metrics.start_round(self._round)
 
         deliveries, deferred = self._plan_deliveries(stats)
@@ -161,7 +194,13 @@ class Simulator:
 
         self._validate_outbox(outbox_sink)
         self._pending.extend(outbox_sink)
+        # A process handler may have scheduled an event for the round that
+        # just ran (its callbacks were already drained); carry it over to the
+        # next round instead of stranding it, which would block quiescence.
+        leftovers = self._scheduled.pop(self._round, None)
         self._round += 1
+        if leftovers:
+            self._scheduled[self._round] = leftovers + self._scheduled.get(self._round, [])
 
     # -------------------------------------------------------------- internals
     def _start_processes(self) -> None:
@@ -229,6 +268,8 @@ class Simulator:
 
     def _quiescent(self) -> bool:
         if self._in_flight():
+            return False
+        if self._scheduled:
             return False
         return all(process.done for process in self._processes.values())
 

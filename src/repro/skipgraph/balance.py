@@ -54,37 +54,52 @@ def longest_run(bits: List[int]) -> int:
 def a_balance_violations(graph: SkipGraph, a: int) -> List[BalanceViolation]:
     """Return every a-balance violation in ``graph``.
 
-    A violation is reported once per maximal offending run.
+    A violation is reported once per maximal offending run, in list order
+    (lists by first appearance of their prefix in key order, runs left to
+    right), level by level.  One pass over the precomputed bit tuples per
+    level — the scan is on the churn path (``restore_a_balance``), so it
+    avoids per-key :class:`MembershipVector` accessor calls.
     """
     if a < 1:
         raise ValueError("a must be a positive integer")
     violations: List[BalanceViolation] = []
+    keyed_bits = [(node.key, node.membership.bits) for node in graph]
     max_level = graph.max_list_level()
     for level in range(max_level + 1):
-        for prefix, members in graph.lists_at_level(level).items():
-            if len(members) <= a:
-                continue
-            bits = []
-            for key in members:
-                membership = graph.membership(key)
-                bit = membership.bit(level + 1) if len(membership) >= level + 1 else None
-                bits.append(bit)
-            index = 0
-            while index < len(bits):
-                bit = bits[index]
-                start = index
-                while index < len(bits) and bits[index] == bit:
-                    index += 1
-                run_length = index - start
-                if bit is not None and run_length > a:
-                    violations.append(
-                        BalanceViolation(
-                            level=level,
-                            prefix=tuple(prefix),
-                            bit=bit,
-                            run_keys=tuple(members[start:index]),
-                        )
+        # prefix -> [run_bit, run_keys]; the run resets on bit changes.
+        runs: dict = {}
+        order: List[tuple] = []
+        found: dict = {}
+
+        def close_run(prefix, state) -> None:
+            run_bit, run_keys = state
+            if run_bit is not None and len(run_keys) > a:
+                found.setdefault(prefix, []).append(
+                    BalanceViolation(
+                        level=level, prefix=prefix, bit=run_bit, run_keys=tuple(run_keys)
                     )
+                )
+
+        for key, bits in keyed_bits:
+            if len(bits) < level:
+                continue
+            prefix = bits[:level]
+            bit = bits[level] if len(bits) > level else None
+            state = runs.get(prefix)
+            if state is None:
+                runs[prefix] = [bit, [key]]
+                order.append(prefix)
+                continue
+            if bit is not None and bit == state[0]:
+                state[1].append(key)
+            else:
+                close_run(prefix, state)
+                state[0] = bit
+                state[1] = [key]
+        for prefix in order:
+            close_run(prefix, runs[prefix])
+        for prefix in order:
+            violations.extend(found.get(prefix, ()))
     return violations
 
 

@@ -44,6 +44,18 @@ class MembershipVector:
     def __init__(self, bits: BitsLike = ()) -> None:
         self._bits = _coerce_bits(bits)
 
+    @classmethod
+    def _from_trusted(cls, bits: Tuple[Bit, ...]) -> "MembershipVector":
+        """Wrap an already-validated bit tuple without re-coercing.
+
+        Internal fast path for the derivation methods below, which only
+        rearrange bits of existing (validated) vectors; the transformation
+        hot loop performs one such derivation per member per level.
+        """
+        vector = cls.__new__(cls)
+        vector._bits = bits
+        return vector
+
     # ------------------------------------------------------------- accessors
     @property
     def bits(self) -> Tuple[Bit, ...]:
@@ -74,7 +86,7 @@ class MembershipVector:
         """First ``length`` bits (identifies the list at level ``length``)."""
         if length < 0:
             raise ValueError("prefix length must be non-negative")
-        return MembershipVector(self._bits[:length])
+        return MembershipVector._from_trusted(self._bits[:length])
 
     def has_prefix(self, prefix: BitsLike) -> bool:
         other = _coerce_bits(prefix)
@@ -82,7 +94,7 @@ class MembershipVector:
 
     # ------------------------------------------------------------ derivation
     def extended(self, extra_bits: BitsLike) -> "MembershipVector":
-        return MembershipVector(self._bits + _coerce_bits(extra_bits))
+        return MembershipVector._from_trusted(self._bits + _coerce_bits(extra_bits))
 
     def with_bit(self, level: int, bit: Bit) -> "MembershipVector":
         """Return a copy whose bit for ``level`` (>= 1) is ``bit``.
@@ -94,14 +106,15 @@ class MembershipVector:
             raise ValueError("bits select levels >= 1")
         if bit not in (0, 1):
             raise ValueError("bit must be 0 or 1")
-        bits = list(self._bits)
-        while len(bits) < level:
-            bits.append(0)
-        bits[level - 1] = bit
-        return MembershipVector(bits)
+        bits = self._bits
+        if len(bits) == level - 1:
+            # The transformation's per-level assignment always appends.
+            return MembershipVector._from_trusted(bits + (bit,))
+        padded = bits + (0,) * (level - len(bits)) if len(bits) < level else bits
+        return MembershipVector._from_trusted(padded[: level - 1] + (bit,) + padded[level:])
 
     def truncated(self, length: int) -> "MembershipVector":
-        return MembershipVector(self._bits[:length])
+        return MembershipVector._from_trusted(self._bits[:length])
 
     # -------------------------------------------------------------- protocol
     def __eq__(self, other: object) -> bool:

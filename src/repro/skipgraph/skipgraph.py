@@ -13,9 +13,23 @@ storing the state this way makes "local and partial reconstruction" a matter
 of editing those nodes' vectors; the level lists of untouched subtrees are
 unaffected, which mirrors the locality argument of the paper.
 
-The class keeps a lazily built cache of level lists so that routing repeated
-in an unchanged region does not rescan all nodes; mutations invalidate only
-the affected part of the cache.
+Scaling machinery (the request hot path relies on all four):
+
+* **Hierarchical list cache** — a list at level ``d`` is materialised by
+  filtering its *parent* list at level ``d - 1`` (recursively down to the
+  base list), never by scanning all nodes.  Rebuilding the lists of a
+  subtree after a transformation therefore costs ``O(|subtree| * depth)``,
+  not ``O(n)`` per list.
+* **Position maps** — every cached list lazily grows a ``key -> index`` map
+  so :meth:`neighbors` is O(1) amortized instead of an O(list) scan per
+  routing hop.
+* **Targeted invalidation** — node insertion/removal and membership rewrites
+  only evict the cache entries whose prefix the affected vector matches;
+  untouched subtrees stay warm across requests.
+* **Incremental height** — a per-level count of multi-member prefixes is
+  maintained on every mutation, making :meth:`height` O(height) instead of
+  an O(n log n) rescan (the DSG front end queries the height after every
+  request).
 """
 
 from __future__ import annotations
@@ -39,30 +53,64 @@ class SkipGraph:
         self._sorted_keys: List[Key] = []
         # Cache: (level, prefix bits) -> keys of that list, in key order.
         self._list_cache: Dict[Tuple[int, Prefix], List[Key]] = {}
-        self._height_cache: Optional[int] = None
+        # Lazily built key -> index maps for cached lists (O(1) neighbours).
+        self._pos_cache: Dict[Tuple[int, Prefix], Dict[Key, int]] = {}
+        # Incremental height bookkeeping: how many nodes carry each prefix,
+        # and per level, how many prefixes have >= 2 carriers.
+        self._prefix_counts: Dict[Prefix, int] = {}
+        self._multi_prefixes_per_level: Dict[int, int] = {}
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
 
     # ------------------------------------------------------------- population
     def add_node(self, node: SkipGraphNode) -> None:
-        """Insert ``node``; keys must be unique."""
+        """Insert ``node``; keys must be unique.
+
+        Cached lists the node belongs to are patched in place (sorted
+        insertion) rather than evicted: evicting would force the next query
+        to rebuild the whole ancestor chain from the base list, which made
+        per-transformation dummy insertion O(n).  Position maps cannot be
+        patched cheaply (an insertion shifts every later index) and are
+        rebuilt lazily.
+        """
         if node.key in self._nodes:
             raise ValueError(f"duplicate key {node.key!r}")
         self._nodes[node.key] = node
         insort(self._sorted_keys, node.key)
-        self._list_cache.clear()
-        self._height_cache = None
+        bits = node.membership.bits
+        self._register_vector(bits)
+        list_cache = self._list_cache
+        pop_pos = self._pos_cache.pop
+        for level in range(1, len(bits) + 1):
+            cache_key = (level, bits[:level])
+            cached = list_cache.get(cache_key)
+            if cached is not None:
+                insort(cached, node.key)
+                pop_pos(cache_key, None)
 
     def remove_node(self, key: Key) -> SkipGraphNode:
-        """Remove and return the node with ``key``."""
+        """Remove and return the node with ``key``.
+
+        Cached lists are patched in place, mirroring :meth:`add_node`.
+        """
         node = self._nodes.pop(key, None)
         if node is None:
             raise KeyError(f"no node with key {key!r}")
         index = bisect_left(self._sorted_keys, key)
         del self._sorted_keys[index]
-        self._list_cache.clear()
-        self._height_cache = None
+        bits = node.membership.bits
+        self._unregister_vector(bits)
+        list_cache = self._list_cache
+        pop_pos = self._pos_cache.pop
+        for level in range(1, len(bits) + 1):
+            cache_key = (level, bits[:level])
+            cached = list_cache.get(cache_key)
+            if cached is not None:
+                member_index = bisect_left(cached, key)
+                if member_index < len(cached) and cached[member_index] == key:
+                    del cached[member_index]
+                pop_pos(cache_key, None)
         return node
 
     def node(self, key: Key) -> SkipGraphNode:
@@ -112,20 +160,102 @@ class SkipGraph:
         old = node.membership
         new = MembershipVector(membership) if not isinstance(membership, MembershipVector) else membership
         node.membership = new
-        self._height_cache = None
-        self._invalidate_for_change(old, new)
-
-    def _invalidate_for_change(self, old: MembershipVector, new: MembershipVector) -> None:
         keep_prefix = common_prefix_length(old, new)
+        self._unregister_vector(old.bits, start=keep_prefix + 1)
+        self._register_vector(new.bits, start=keep_prefix + 1)
+        self._invalidate_for_change(old, new, keep_prefix)
+
+    def _invalidate_for_change(self, old: MembershipVector, new: MembershipVector, keep_prefix: int) -> None:
         longest = max(len(old), len(new))
+        pop_list = self._list_cache.pop
+        pop_pos = self._pos_cache.pop
         for level in range(keep_prefix + 1, longest + 1):
             for vector in (old, new):
                 if len(vector) >= level:
-                    self._list_cache.pop((level, vector.bits[:level]), None)
+                    cache_key = (level, vector.bits[:level])
+                    pop_list(cache_key, None)
+                    pop_pos(cache_key, None)
 
     def invalidate_cache(self) -> None:
         self._list_cache.clear()
-        self._height_cache = None
+        self._pos_cache.clear()
+
+    # ------------------------------------------------- incremental height data
+    def _register_vector(self, bits: Prefix, start: int = 1) -> None:
+        """Count the prefixes of ``bits`` from length ``start`` upward.
+
+        ``start`` lets :meth:`set_membership` skip the prefix shared between
+        the old and the new vector, whose counts are unchanged — the
+        transformation's one-bit appends then cost O(1) here instead of
+        O(depth).
+        """
+        counts = self._prefix_counts
+        multi = self._multi_prefixes_per_level
+        for level in range(start, len(bits) + 1):
+            prefix = bits[:level]
+            count = counts.get(prefix, 0) + 1
+            counts[prefix] = count
+            if count == 2:
+                multi[level] = multi.get(level, 0) + 1
+
+    def _unregister_vector(self, bits: Prefix, start: int = 1) -> None:
+        counts = self._prefix_counts
+        multi = self._multi_prefixes_per_level
+        for level in range(start, len(bits) + 1):
+            prefix = bits[:level]
+            count = counts[prefix] - 1
+            if count:
+                counts[prefix] = count
+            else:
+                del counts[prefix]
+            if count == 1:
+                remaining = multi[level] - 1
+                if remaining:
+                    multi[level] = remaining
+                else:
+                    del multi[level]
+
+    # ---------------------------------------------------------- list building
+    def _members_internal(self, level: int, prefix_bits: Prefix) -> List[Key]:
+        """The cached (live, do-not-mutate) list at ``level`` / ``prefix_bits``.
+
+        On a miss the list is derived from the deepest cached ancestor list
+        (ultimately the base list), so a rebuild costs O(ancestor size) per
+        missing level rather than a scan over all nodes.
+        """
+        if level == 0:
+            return self._sorted_keys
+        cache = self._list_cache
+        cached = cache.get((level, prefix_bits))
+        if cached is not None:
+            return cached
+        base_level = level - 1
+        while base_level > 0 and (base_level, prefix_bits[:base_level]) not in cache:
+            base_level -= 1
+        if base_level == 0:
+            members = self._sorted_keys
+        else:
+            members = cache[(base_level, prefix_bits[:base_level])]
+        nodes = self._nodes
+        for depth in range(base_level + 1, level + 1):
+            wanted = prefix_bits[depth - 1]
+            members = [
+                key
+                for key in members
+                if len(bits := nodes[key].membership.bits) >= depth and bits[depth - 1] == wanted
+            ]
+            cache_key = (depth, prefix_bits[:depth])
+            cache[cache_key] = members
+            self._pos_cache.pop(cache_key, None)
+        return members
+
+    def _positions(self, level: int, prefix_bits: Prefix, members: List[Key]) -> Dict[Key, int]:
+        cache_key = (level, prefix_bits)
+        positions = self._pos_cache.get(cache_key)
+        if positions is None:
+            positions = {key: index for index, key in enumerate(members)}
+            self._pos_cache[cache_key] = positions
+        return positions
 
     def list_members(self, level: int, prefix: MembershipVector | Iterable[int] | str) -> List[Key]:
         """Keys of the linked list at ``level`` identified by ``prefix``.
@@ -138,18 +268,7 @@ class SkipGraph:
         prefix_vec = prefix if isinstance(prefix, MembershipVector) else MembershipVector(prefix)
         if len(prefix_vec) != level:
             raise ValueError(f"prefix must have exactly {level} bits, got {len(prefix_vec)}")
-        cache_key = (level, prefix_vec.bits)
-        cached = self._list_cache.get(cache_key)
-        if cached is not None:
-            return list(cached)
-        prefix_bits = prefix_vec.bits
-        members = [
-            key
-            for key in self._sorted_keys
-            if self._nodes[key].membership.bits[:level] == prefix_bits
-        ]
-        self._list_cache[cache_key] = members
-        return list(members)
+        return list(self._members_internal(level, prefix_vec.bits))
 
     def list_of(self, key: Key, level: int) -> List[Key]:
         """Keys of the linked list containing ``key`` at ``level`` (key order)."""
@@ -158,7 +277,7 @@ class SkipGraph:
         node = self._nodes[key]
         if len(node.membership) < level:
             return [key]
-        return self.list_members(level, node.membership.prefix(level))
+        return list(self._members_internal(level, node.membership.bits[:level]))
 
     def lists_at_level(self, level: int) -> Dict[Prefix, List[Key]]:
         """All linked lists at ``level``, keyed by their prefix bits.
@@ -178,9 +297,25 @@ class SkipGraph:
 
     # ------------------------------------------------------------- neighbours
     def neighbors(self, key: Key, level: int) -> Tuple[Optional[Key], Optional[Key]]:
-        """Left and right neighbour of ``key`` in its list at ``level``."""
-        members = self.list_of(key, level)
-        index = members.index(key)
+        """Left and right neighbour of ``key`` in its list at ``level``.
+
+        O(1) amortized: cached lists carry a lazily built ``key -> index``
+        map; the base list is searched by bisection.
+        """
+        if level == 0:
+            keys = self._sorted_keys
+            if key not in self._nodes:
+                raise KeyError(f"no node with key {key!r}")
+            index = bisect_left(keys, key)
+            left = keys[index - 1] if index > 0 else None
+            right = keys[index + 1] if index + 1 < len(keys) else None
+            return left, right
+        bits = self._nodes[key].membership.bits
+        if len(bits) < level:
+            return None, None
+        prefix_bits = bits[:level]
+        members = self._members_internal(level, prefix_bits)
+        index = self._positions(level, prefix_bits, members)[key]
         left = members[index - 1] if index > 0 else None
         right = members[index + 1] if index + 1 < len(members) else None
         return left, right
@@ -191,24 +326,54 @@ class SkipGraph:
     def left_neighbor(self, key: Key, level: int) -> Optional[Key]:
         return self.neighbors(key, level)[0]
 
+    def are_adjacent(self, u: Key, v: Key, level: int) -> bool:
+        """Whether ``u`` and ``v`` sit next to each other in a list at ``level``.
+
+        O(1) amortized; ``False`` when either node does not belong to a
+        multi-node list at that level (or they belong to different lists).
+        """
+        if u == v:
+            return False
+        if level == 0:
+            keys = self._sorted_keys
+            index = bisect_left(keys, u)
+            if index >= len(keys) or keys[index] != u:
+                return False
+            return (index > 0 and keys[index - 1] == v) or (
+                index + 1 < len(keys) and keys[index + 1] == v
+            )
+        node_u = self._nodes.get(u)
+        node_v = self._nodes.get(v)
+        if node_u is None or node_v is None:
+            return False
+        bits_u = node_u.membership.bits
+        bits_v = node_v.membership.bits
+        if len(bits_u) < level or len(bits_v) < level:
+            return False
+        prefix_bits = bits_u[:level]
+        if bits_v[:level] != prefix_bits:
+            return False
+        members = self._members_internal(level, prefix_bits)
+        positions = self._positions(level, prefix_bits, members)
+        return abs(positions[u] - positions[v]) == 1
+
     # ------------------------------------------------------------- structure
     def singleton_level(self, key: Key) -> int:
         """Lowest level at which ``key`` is the only member of its list."""
         if len(self._nodes) <= 1:
             return 0
         bits = self._nodes[key].membership.bits
+        counts = self._prefix_counts
         deepest_shared = 0
-        for other in self._sorted_keys:
-            if other == key:
-                continue
-            other_bits = self._nodes[other].membership.bits
-            shared = 0
-            for bit_a, bit_b in zip(bits, other_bits):
-                if bit_a != bit_b:
-                    break
-                shared += 1
-            deepest_shared = max(deepest_shared, shared)
+        for level in range(len(bits), 0, -1):
+            if counts.get(bits[:level], 0) >= 2:
+                deepest_shared = level
+                break
         return deepest_shared + 1
+
+    def singleton_levels(self) -> Dict[Key, int]:
+        """Singleton level of every node (bulk convenience, O(n * height))."""
+        return {key: self.singleton_level(key) for key in self._sorted_keys}
 
     def common_level(self, u: Key, v: Key) -> int:
         """Highest level at which ``u`` and ``v`` share a linked list (``alpha``)."""
@@ -218,24 +383,15 @@ class SkipGraph:
         """Number of levels: 1 + the highest level holding a list of size >= 2.
 
         An empty or single-node skip graph has height 1 (just the base list).
-        The deepest shared prefix is attained between lexicographic
-        neighbours of the membership vectors, so one sort suffices.
+        Maintained incrementally from the per-level count of prefixes carried
+        by two or more nodes, so the query is O(height).
         """
         if len(self._nodes) <= 1:
             return 1
-        if self._height_cache is not None:
-            return self._height_cache
-        vectors = sorted(self._nodes[key].membership.bits for key in self._sorted_keys)
-        deepest = 0
-        for first, second in zip(vectors, vectors[1:]):
-            shared = 0
-            for bit_a, bit_b in zip(first, second):
-                if bit_a != bit_b:
-                    break
-                shared += 1
-            deepest = max(deepest, shared)
-        self._height_cache = deepest + 2
-        return self._height_cache
+        multi = self._multi_prefixes_per_level
+        if not multi:
+            return 2
+        return max(multi) + 2
 
     def max_list_level(self) -> int:
         """Highest level at which some list still has two or more nodes."""

@@ -18,23 +18,44 @@ E3, E8, E9) sweeps:
   self-adjusting design, worst case relative advantage for static),
 * ``adversarial-static`` — pairs chosen to be far apart in the *static*
   topology (max-distance pairs), showing the gap between worst-case static
-  routing and self-adjusted routing.
+  routing and self-adjusted routing,
+* ``zipf-drift`` — Zipf skew whose popularity ranking drifts over time
+  (trending content / migrating hotspots),
+* ``flash-crowd`` — background traffic punctuated by phases in which a
+  crowd of nodes hammers a single hotspot.
 
 Every generator is deterministic given its seed and returns a list of
 ``(source, destination)`` tuples.  :func:`generate_workload` is the single
 entry point used by the experiments and the CLI.
+
+:mod:`repro.workloads.scenarios` lifts workloads to churn-capable *event
+schedules* (requests interleaved with node joins/leaves) executed against a
+live DSG instance through the batched request pipeline; see
+:func:`churn_scenario`, :func:`scale_scenario` and :func:`run_scenario`.
 """
 
 from repro.workloads.sequences import (
     WORKLOADS,
     adversarial_for_static,
     community_traffic,
+    flash_crowd,
     generate_workload,
     hot_pairs,
     repeated_pair,
     temporal_locality,
     uniform_pairs,
     zipf_pairs,
+    zipf_with_drift,
+)
+from repro.workloads.scenarios import (
+    JoinEvent,
+    LeaveEvent,
+    RequestEvent,
+    Scenario,
+    ScenarioReport,
+    churn_scenario,
+    run_scenario,
+    scale_scenario,
 )
 from repro.workloads.paper_examples import (
     fig2_access_pattern,
@@ -45,19 +66,29 @@ from repro.workloads.paper_examples import (
 from repro.workloads.traces import load_trace, save_trace
 
 __all__ = [
+    "JoinEvent",
+    "LeaveEvent",
+    "RequestEvent",
+    "Scenario",
+    "ScenarioReport",
     "WORKLOADS",
     "adversarial_for_static",
+    "churn_scenario",
     "community_traffic",
     "fig2_access_pattern",
     "fig3_communication_graph",
     "fig4_membership_s8",
     "fig4_setup",
+    "flash_crowd",
     "generate_workload",
     "hot_pairs",
     "load_trace",
     "repeated_pair",
+    "run_scenario",
     "save_trace",
+    "scale_scenario",
     "temporal_locality",
     "uniform_pairs",
     "zipf_pairs",
+    "zipf_with_drift",
 ]

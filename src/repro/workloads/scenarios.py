@@ -1,0 +1,449 @@
+"""Churn-capable scenario layer: event schedules over a live DSG instance.
+
+A plain workload (:mod:`repro.workloads.sequences`) is a fixed request list
+over a fixed node population.  A :class:`Scenario` generalises it to an
+*event schedule*: an initial key population plus an ordered stream of
+
+* :class:`RequestEvent` — a communication request ``(source, destination)``,
+* :class:`JoinEvent` — a new peer enters (Section IV-G node addition),
+* :class:`LeaveEvent` — a peer departs (Section IV-G node removal),
+
+which is what production overlays actually look like: traffic interleaved
+with membership churn.  Because joins and leaves change the population the
+later traffic may draw from, scenarios are generated *online* — the
+samplers track the alive set as the schedule is produced — and replayed
+deterministically.
+
+:func:`run_scenario` executes a scenario against a
+:class:`~repro.core.dsg.DynamicSkipGraph`, feeding maximal request runs
+through the batched :meth:`~repro.core.dsg.DynamicSkipGraph.run_requests`
+pipeline (so a churn-free stretch pays batch prices) and returning a
+:class:`ScenarioReport` with the cost/throughput accounting.
+
+:func:`churn_scenario` builds general traffic-plus-churn schedules;
+:func:`scale_scenario` builds the 10k-node/100k-request shape used by the
+E13 experiment and ``benchmarks/bench_e13_scale.py``: heavy-hitter pairs
+placed with key-space locality, a trickle of far "cross" pairs that force
+deep transformations, periodic flash crowds around hotspots, and steady
+background churn.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.dsg import BatchOutcome, DSGConfig, DynamicSkipGraph
+from repro.simulation.rng import make_rng
+from repro.skipgraph.node import Key
+
+__all__ = [
+    "JoinEvent",
+    "LeaveEvent",
+    "RequestEvent",
+    "Scenario",
+    "ScenarioReport",
+    "churn_scenario",
+    "run_scenario",
+    "scale_scenario",
+]
+
+Request = Tuple[Key, Key]
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """A communication request between two alive peers."""
+
+    source: Key
+    destination: Key
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """A new peer with ``key`` enters the overlay."""
+
+    key: Key
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """The peer with ``key`` departs the overlay."""
+
+    key: Key
+
+
+Event = Union[RequestEvent, JoinEvent, LeaveEvent]
+
+
+@dataclass
+class Scenario:
+    """An initial population plus a deterministic event schedule."""
+
+    name: str
+    initial_keys: List[Key]
+    events: List[Event]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def request_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, RequestEvent))
+
+    @property
+    def join_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, JoinEvent))
+
+    @property
+    def leave_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, LeaveEvent))
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one :func:`run_scenario` execution."""
+
+    scenario: str
+    initial_nodes: int
+    final_nodes: int
+    requests: int
+    joins: int
+    leaves: int
+    total_cost: int
+    total_routing_cost: int
+    average_cost: float
+    working_set_bound: float
+    final_height: int
+    max_height: int
+    dummy_count: int
+    elapsed_seconds: float
+    batches: int
+    costs: Optional[List[int]] = None
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+
+# --------------------------------------------------------------------- runner
+def run_scenario(
+    scenario: Scenario,
+    config: Optional[DSGConfig] = None,
+    keep_costs: bool = False,
+) -> ScenarioReport:
+    """Execute ``scenario`` on a fresh :class:`DynamicSkipGraph`.
+
+    Consecutive requests are flushed through the batched
+    :meth:`~repro.core.dsg.DynamicSkipGraph.run_requests` pipeline
+    (``keep_results=False`` — aggregates stay exact via the running
+    counters); joins and leaves call the Section IV-G membership
+    operations.  Per-request costs are therefore identical to a
+    sequential ``request()`` replay of the same schedule.
+    """
+    dsg = DynamicSkipGraph(keys=scenario.initial_keys, config=config)
+    joins = leaves = batches = 0
+    max_height = dsg.height()
+    costs: Optional[List[int]] = [] if keep_costs else None
+    pending: List[Request] = []
+    started = time.perf_counter()
+
+    def flush() -> None:
+        nonlocal batches, max_height
+        if not pending:
+            return
+        outcome: BatchOutcome = dsg.run_requests(pending, keep_results=False)
+        batches += 1
+        if outcome.max_height > max_height:
+            max_height = outcome.max_height
+        if costs is not None:
+            costs.extend(outcome.costs)
+        pending.clear()
+
+    for event in scenario.events:
+        if isinstance(event, RequestEvent):
+            pending.append((event.source, event.destination))
+        elif isinstance(event, JoinEvent):
+            flush()
+            dsg.add_node(event.key)
+            joins += 1
+        else:
+            flush()
+            dsg.remove_node(event.key)
+            leaves += 1
+        if dsg.height() > max_height:
+            max_height = dsg.height()
+    flush()
+    elapsed = time.perf_counter() - started
+
+    return ScenarioReport(
+        scenario=scenario.name,
+        initial_nodes=len(scenario.initial_keys),
+        final_nodes=dsg.n,
+        requests=dsg.requests_served(),
+        joins=joins,
+        leaves=leaves,
+        total_cost=dsg.total_cost(),
+        total_routing_cost=dsg.total_routing_cost(),
+        average_cost=dsg.average_cost(),
+        working_set_bound=dsg.working_set_bound() if dsg.config.track_working_set else 0.0,
+        final_height=dsg.height(),
+        max_height=max_height,
+        dummy_count=dsg.dummy_count(),
+        elapsed_seconds=elapsed,
+        batches=batches,
+        costs=costs,
+    )
+
+
+# ----------------------------------------------------------------- generators
+def churn_scenario(
+    n: int = 256,
+    length: int = 2000,
+    seed: Optional[int] = None,
+    base: str = "temporal",
+    churn_rate: float = 0.005,
+    working_set_size: int = 8,
+    drift_probability: float = 0.02,
+    pairs: int = 8,
+    hot_fraction: float = 0.9,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Traffic interleaved with node join/leave churn.
+
+    The schedule has ``length`` slots.  Each slot is, with probability
+    ``churn_rate``, a churn event — alternating between a :class:`JoinEvent`
+    of a fresh key and a :class:`LeaveEvent` of a uniformly chosen inactive
+    peer, keeping the population near ``n`` — and a request from the base
+    sampler otherwise.  Samplers draw only from peers alive at that point of
+    the schedule, and the actively communicating nodes are shielded from
+    departure (a request to a departed peer would be invalid).
+
+    Parameters
+    ----------
+    n:
+        Initial population: keys ``1..n``; joined peers get fresh keys above.
+    length:
+        Number of schedule slots.
+    seed:
+        RNG seed; the whole schedule is deterministic given it.
+    base:
+        Traffic model between churn events: ``"temporal"`` (sliding working
+        set of ``working_set_size`` nodes with ``drift_probability`` drift),
+        ``"hot-pairs"`` (``pairs`` fixed pairs taking ``hot_fraction`` of
+        traffic) or ``"uniform"``.
+    churn_rate:
+        Per-slot probability of a churn event.
+    """
+    rng = make_rng(seed)
+    if n < max(2 * pairs, working_set_size, 2) + 1:
+        raise ValueError("population too small for the requested sampler")
+    alive = list(range(1, n + 1))
+    next_key = n + 1
+
+    if base == "temporal":
+        active = rng.sample(alive, working_set_size)
+    elif base == "hot-pairs":
+        sampled = rng.sample(alive, 2 * pairs)
+        hot = [(sampled[2 * i], sampled[2 * i + 1]) for i in range(pairs)]
+        active = [key for pair in hot for key in pair]
+    elif base == "uniform":
+        active = []
+    else:
+        raise KeyError(f"unknown base sampler {base!r}")
+
+    def draw_request() -> Request:
+        if base == "temporal":
+            if rng.random() < drift_probability:
+                outsiders = [key for key in alive if key not in active]
+                if outsiders:
+                    active[rng.randrange(len(active))] = rng.choice(outsiders)
+            u, v = rng.sample(active, 2)
+            return (u, v)
+        if base == "hot-pairs" and rng.random() < hot_fraction:
+            return hot[rng.randrange(len(hot))]
+        u = rng.choice(alive)
+        v = rng.choice(alive)
+        while v == u:
+            v = rng.choice(alive)
+        return (u, v)
+
+    events: List[Event] = []
+    join_next = True
+    for _ in range(length):
+        if rng.random() < churn_rate:
+            if join_next:
+                events.append(JoinEvent(next_key))
+                alive.append(next_key)
+                next_key += 1
+            else:
+                protected = set(active)
+                candidates = [key for key in alive if key not in protected]
+                if candidates:
+                    victim = rng.choice(candidates)
+                    alive.remove(victim)
+                    events.append(LeaveEvent(victim))
+            join_next = not join_next
+        else:
+            u, v = draw_request()
+            events.append(RequestEvent(u, v))
+
+    return Scenario(
+        name=name or f"churn-{base}",
+        initial_keys=list(range(1, n + 1)),
+        events=events,
+        params={
+            "n": n,
+            "length": length,
+            "seed": seed,
+            "base": base,
+            "churn_rate": churn_rate,
+        },
+    )
+
+
+def scale_scenario(
+    n: int = 10_000,
+    length: int = 100_000,
+    seed: Optional[int] = None,
+    hot_pair_count: int = 64,
+    cross_pair_count: int = 8,
+    cross_fraction: float = 0.01,
+    flash_count: int = 2,
+    flash_fraction: float = 0.1,
+    crowd_size: int = 12,
+    churn_rate: float = 0.0005,
+    name: Optional[str] = None,
+) -> Scenario:
+    """The 10k-node scale shape: skewed local traffic, far pairs, flashes, churn.
+
+    Traffic composition (motivated by datacenter measurement studies: a few
+    heavy-hitter flows carry most bytes, most flows stay within their
+    neighbourhood, hotspots flare up and churn is constant):
+
+    * ``hot_pair_count`` heavy-hitter pairs placed with *overlay locality* —
+      each pair shares a deep linked list of the balanced start topology
+      (in that construction, bit ``i`` of a node is bit ``i`` of its rank in
+      LSB-first binary, so topological neighbours are ranks equal modulo a
+      power of two).  Think services deployed next to each other in the
+      overlay; DSG serves their steady state at O(1) per request.
+    * ``cross_pair_count`` topologically far pairs get a ``cross_fraction``
+      trickle; their first contacts trigger deep multi-level
+      transformations, exercising the expensive end of the cost model at
+      full scale (and re-clustering part of the structure each time).
+    * ``flash_count`` flash phases concentrate ``flash_fraction`` of the
+      traffic on crowd -> hotspot requests, the crowd drawn from the
+      hotspot's topological neighbourhood (a mid-level list of the start
+      topology, so a flash exercises bounded mid-size transformations).
+    * churn joins/leaves arrive at ``churn_rate`` per slot, alternating, on
+      peers outside the active sets.
+
+    The schedule opens with a warmup prologue touching every pair the body
+    will request — heavy hitters first, then the flash crowds, then the far
+    pairs.  Ordering matters at scale: a level-0 transformation rewrites
+    the membership vector of *every* node, so a far pair served before the
+    local pairs have clustered would turn each of their first contacts into
+    a full rebuild as well.  Warming local pairs on the pristine topology
+    keeps the deep transformations limited to the ``cross_pair_count``
+    first contacts; after each one, every active pair re-sinks with a
+    single mid-size transformation on its next request.
+
+    Every endpoint a request may draw is protected from departure, so the
+    schedule is valid by construction.
+    """
+    rng = make_rng(seed)
+    if n < 16 * crowd_size:
+        raise ValueError("scale scenario expects a large population")
+    alive = list(range(1, n + 1))
+    next_key = n + 1
+
+    # Heavy hitters: pairs of ranks (r, r + stride) where the stride is the
+    # largest power of two below n.  In the balanced start topology the two
+    # nodes share every membership bit except the top one, i.e. they sit in
+    # a list of size two — maximal overlay locality.
+    stride = 1 << ((n - 1).bit_length() - 1)
+    starts = rng.sample(range(n - stride), min(hot_pair_count, n - stride))
+    hot = [(start + 1, start + stride + 1) for start in starts]
+    hot_nodes = {key for pair in hot for key in pair}
+
+    non_hot = [key for key in alive if key not in hot_nodes]
+    if cross_pair_count > 0 and len(non_hot) < 2 * cross_pair_count:
+        raise ValueError(
+            "not enough keys outside the hot pairs for the requested cross pairs; "
+            "lower hot_pair_count or cross_pair_count"
+        )
+    cross: List[Request] = []
+    while len(cross) < cross_pair_count:
+        u, v = rng.sample(non_hot, 2)
+        cross.append((u, v))
+    cross_nodes = {key for pair in cross for key in pair}
+
+    # Flash phases: fixed windows of the schedule.  The crowd shares a
+    # mid-level list with the hotspot: ranks equal to the hotspot's modulo
+    # 2^m, with m chosen so that the shared list holds a few crowds' worth
+    # of nodes.
+    flash_slots = int(length * flash_fraction)
+    per_flash = flash_slots // max(flash_count, 1)
+    flash_windows: List[Tuple[int, int, Key, List[Key]]] = []
+    protected = set(hot_nodes) | cross_nodes
+    modulus = 1
+    while n // (2 * modulus) > 4 * crowd_size:
+        modulus *= 2
+    for index in range(flash_count):
+        window_start = int((index + 0.5) * length / (flash_count + 0.5))
+        hotspot_rank = rng.randrange(n)
+        hotspot = hotspot_rank + 1
+        neighbourhood = [
+            rank + 1 for rank in range(hotspot_rank % modulus, n, modulus) if rank != hotspot_rank
+        ]
+        crowd = rng.sample(neighbourhood, min(crowd_size, len(neighbourhood)))
+        flash_windows.append((window_start, window_start + per_flash, hotspot, crowd))
+        protected.add(hotspot)
+        protected.update(crowd)
+
+    events: List[Event] = [RequestEvent(u, v) for u, v in rng.sample(hot, len(hot))]
+    for _, _, hotspot, crowd in flash_windows:
+        events.extend(RequestEvent(member, hotspot) for member in crowd)
+    events.extend(RequestEvent(u, v) for u, v in cross)
+    join_next = True
+    for slot in range(length - len(events)):
+        if rng.random() < churn_rate:
+            if join_next:
+                events.append(JoinEvent(next_key))
+                alive.append(next_key)
+                next_key += 1
+            else:
+                victim = rng.choice(alive)
+                if victim not in protected:
+                    alive.remove(victim)
+                    events.append(LeaveEvent(victim))
+            join_next = not join_next
+            continue
+        flash = next(
+            (window for window in flash_windows if window[0] <= slot < window[1]), None
+        )
+        if flash is not None and rng.random() < 0.9:
+            _, _, hotspot, crowd = flash
+            events.append(RequestEvent(rng.choice(crowd), hotspot))
+        elif cross and rng.random() < cross_fraction:
+            u, v = cross[rng.randrange(len(cross))]
+            events.append(RequestEvent(u, v))
+        else:
+            u, v = hot[rng.randrange(len(hot))]
+            events.append(RequestEvent(u, v))
+
+    return Scenario(
+        name=name or "scale-mix",
+        initial_keys=list(range(1, n + 1)),
+        events=events,
+        params={
+            "n": n,
+            "length": length,
+            "seed": seed,
+            "hot_pairs": hot_pair_count,
+            "cross_pairs": cross_pair_count,
+            "flashes": flash_count,
+            "churn_rate": churn_rate,
+        },
+    )

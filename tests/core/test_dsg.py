@@ -304,3 +304,65 @@ class TestMemoryAudit:
         words = dsg.memory_words_per_node()
         height = dsg.height()
         assert all(count <= 3 * (height + 1) + 2 for count in words.values())
+
+
+class TestBatchedRequests:
+    """run_requests: amortized pipeline, identical per-request outcomes."""
+
+    def _requests(self, count=60, seed=9):
+        rng = random.Random(seed)
+        return [tuple(rng.sample(list(KEYS), 2)) for _ in range(count)]
+
+    def test_batch_costs_identical_to_sequential_loop(self):
+        requests = self._requests()
+        sequential = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=31))
+        sequential_costs = [sequential.request(u, v).cost for u, v in requests]
+        batched = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=31))
+        outcome = batched.run_requests(requests)
+        assert outcome.costs == sequential_costs
+        assert outcome.total_cost == sequential.total_cost()
+        assert batched.graph.membership_table() == sequential.graph.membership_table()
+
+    def test_keep_results_false_preserves_aggregates(self):
+        requests = self._requests(40, seed=12)
+        kept = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=33))
+        kept.run_requests(requests)
+        dropped = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=33))
+        outcome = dropped.run_requests(requests, keep_results=False)
+        assert dropped.results == []
+        assert outcome.results is None
+        assert dropped.requests_served() == len(requests)
+        assert dropped.total_cost() == kept.total_cost()
+        assert dropped.total_routing_cost() == kept.total_routing_cost()
+        assert dropped.average_cost() == pytest.approx(kept.average_cost())
+        assert dropped.working_set_bound() == pytest.approx(kept.working_set_bound())
+
+    def test_batch_outcome_aggregates(self):
+        requests = self._requests(25, seed=5)
+        dsg = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=35))
+        outcome = dsg.run_requests(requests)
+        assert outcome.served == len(requests)
+        assert outcome.total_cost == sum(outcome.costs)
+        assert outcome.final_height == dsg.height()
+        assert outcome.max_height >= outcome.final_height
+        assert outcome.results is not None and len(outcome.results) == len(requests)
+        assert outcome.requests_per_second > 0
+        assert outcome.average_cost == pytest.approx(outcome.total_cost / outcome.served)
+
+    def test_batch_validation_rejects_bad_requests(self):
+        dsg = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=37))
+        with pytest.raises(ValueError):
+            dsg.run_requests([(1, 1)])
+        with pytest.raises(KeyError):
+            dsg.run_requests([(1, 999)])
+        assert dsg.requests_served() == 0  # validation happens before serving
+
+    def test_mixing_batched_and_sequential_keeps_counters(self):
+        requests = self._requests(30, seed=21)
+        dsg = DynamicSkipGraph(keys=KEYS, config=DSGConfig(seed=39))
+        dsg.run_requests(requests[:15], keep_results=False)
+        for u, v in requests[15:]:
+            dsg.request(u, v)
+        assert dsg.requests_served() == 30
+        assert len(dsg.results) == 15
+        assert dsg.total_cost() > 0

@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.working_set import (
     CommunicationHistory,
@@ -108,3 +110,66 @@ class TestCommunicationHistory:
         assert tracker.last_time_of_pair(1, 2) == 0
         assert tracker.last_time_of_pair(2, 1) == 0
         assert tracker.last_time_of_pair(1, 3) is None
+
+
+class TestIncrementalMatchesRescan:
+    """Regression: the incremental recency-graph tracker is exact.
+
+    :meth:`CommunicationHistory.record` answers from the recency graph
+    (cost proportional to the working set); :func:`working_set_number`
+    rescans the window as the definition reads.  They must agree on every
+    request of any sequence, and the running working-set-bound sum must
+    match the full recomputation.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 15), st.integers(1, 15)).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=15, max_value=40),
+    )
+    def test_record_matches_window_rescan(self, history, total_nodes):
+        tracker = CommunicationHistory(total_nodes=total_nodes)
+        for index, (u, v) in enumerate(history):
+            incremental = tracker.record(u, v)
+            rescan = working_set_number(history[: index + 1], index, total_nodes)
+            assert incremental == rescan
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 10), st.integers(1, 10)).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_running_bound_matches_recomputation(self, history):
+        tracker = CommunicationHistory(total_nodes=12)
+        for u, v in history:
+            tracker.record(u, v)
+        assert tracker.working_set_bound() == pytest.approx(
+            working_set_bound(history, total_nodes=12)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 12), st.integers(1, 12)).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=40,
+        ),
+        st.tuples(st.integers(1, 12), st.integers(1, 12)).filter(lambda p: p[0] != p[1]),
+    )
+    def test_peek_matches_hypothetical_record(self, history, probe):
+        tracker = CommunicationHistory(total_nodes=20)
+        for u, v in history:
+            tracker.record(u, v)
+        u, v = probe
+        peeked = tracker.peek(u, v)
+        replay = CommunicationHistory(total_nodes=20)
+        for x, y in history:
+            replay.record(x, y)
+        assert peeked == replay.record(u, v)

@@ -278,3 +278,93 @@ class TestEngineLifecycle:
             values.append(tuple(p.result for p in procs))
         assert values[0] == values[1]
         assert len(set(values[0])) == 3  # distinct streams per node
+
+
+class TestScheduledEvents:
+    """Simulator.schedule: churn-style event injection at round boundaries."""
+
+    def test_scheduled_callback_runs_at_its_round(self):
+        from repro.simulation.network import Network
+        from repro.simulation.node_process import NodeProcess
+
+        class Idle(NodeProcess):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        network = Network()
+        network.add_node("a")
+        sim = Simulator(network, SimulatorConfig(max_rounds=50))
+        sim.add_process(Idle("a"))
+        fired = []
+        sim.schedule(3, lambda s: fired.append(s.round))
+        sim.run()
+        assert fired == [3]
+        assert sim.round >= 4  # the run kept stepping until the event fired
+
+    def test_scheduled_join_adds_node_and_process(self):
+        from repro.simulation.network import Network
+        from repro.simulation.node_process import NodeProcess
+
+        class Idle(NodeProcess):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        network = Network()
+        network.add_node("a")
+        sim = Simulator(network, SimulatorConfig(max_rounds=50))
+        sim.add_process(Idle("a"))
+
+        def join(s):
+            s.network.add_node("b")
+            s.network.add_link("a", "b")
+            s.add_process(Idle("b"))
+
+        sim.schedule(2, join)
+        sim.run()
+        assert sim.network.has_node("b")
+        assert "b" in sim.processes
+
+    def test_scheduling_in_the_past_rejected(self):
+        from repro.simulation.network import Network
+
+        network = Network()
+        network.add_node("a")
+        sim = Simulator(network, SimulatorConfig(max_rounds=10, allow_timeout=True))
+        sim.step()
+        sim.step()
+        with pytest.raises(SimulationError):
+            sim.schedule(0, lambda s: None)
+
+    def test_same_round_scheduling_from_callback_does_not_deadlock(self):
+        from repro.simulation.network import Network
+        from repro.simulation.node_process import NodeProcess
+
+        class Idle(NodeProcess):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.done = True
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        network = Network()
+        network.add_node("a")
+        sim = Simulator(network, SimulatorConfig(max_rounds=20))
+        sim.add_process(Idle("a"))
+        fired = []
+
+        def outer(s):
+            fired.append(("outer", s.round))
+            s.schedule(s.round, lambda s2: fired.append(("inner", s2.round)))
+
+        sim.schedule(2, outer)
+        sim.run()  # must quiesce; the inner event fires in the same round
+        assert fired == [("outer", 2), ("inner", 2)]

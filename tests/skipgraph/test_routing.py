@@ -1,9 +1,12 @@
 """Tests for standard skip graph routing (Appendix B)."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
 from repro.skipgraph import build_balanced_skip_graph, build_skip_graph, route
-from repro.skipgraph.routing import routing_distance
+from repro.skipgraph.routing import route_reference, routing_distance
 from repro.simulation.rng import make_rng
 
 
@@ -77,3 +80,67 @@ class TestRoutingBounds:
         graph = build_balanced_skip_graph(range(8))
         # 0 and 1 share a list of size 2 at the top relevant level.
         assert routing_distance(graph, 0, 1) == 0
+
+
+class TestFastPathMatchesReference:
+    """Property: the cached fast path is path-identical to the scan-based spec.
+
+    ``route`` uses the level-indexed neighbour caches, starts at the graph
+    height and early-exits on adjacency; ``route_reference`` re-derives
+    every list from the membership vectors (the seed implementation).  They
+    must agree on *paths and hop levels*, not just distances, on any graph —
+    including mid-run DSG graphs whose vectors were rewritten by
+    transformations and that contain dummy nodes.
+    """
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.sets(st.integers(min_value=1, max_value=500), min_size=2, max_size=40),
+        st.integers(0, 2**20),
+        st.booleans(),
+    )
+    def test_static_graphs(self, keys, seed, balanced):
+        graph = (
+            build_balanced_skip_graph(keys)
+            if balanced
+            else build_skip_graph(keys, rng=make_rng(seed))
+        )
+        keys = sorted(keys)
+        rng = make_rng(seed + 1)
+        for _ in range(20):
+            u, v = rng.sample(keys, 2) if len(keys) > 1 else (keys[0], keys[0])
+            fast = route(graph, u, v)
+            reference = route_reference(graph, u, v)
+            assert fast.path == reference.path
+            assert fast.hop_levels == reference.hop_levels
+            assert fast.distance == reference.distance
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=6, max_value=24),
+        st.lists(st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)), min_size=1, max_size=12),
+        st.integers(0, 2**20),
+    )
+    def test_adjusted_graphs_with_dummies(self, n, raw_requests, seed):
+        keys = list(range(1, n + 1))
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed))
+        rng = make_rng(seed + 1)
+        for raw_u, raw_v in raw_requests:
+            u, v = keys[raw_u % n], keys[raw_v % n]
+            if u == v:
+                continue
+            dsg.request(u, v)
+            x, y = rng.sample(keys, 2)
+            fast = route(dsg.graph, x, y)
+            reference = route_reference(dsg.graph, x, y)
+            assert fast.path == reference.path
+            assert fast.hop_levels == reference.hop_levels
+
+    def test_fast_path_adjacent_pair_is_single_hop(self):
+        keys = list(range(1, 33))
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=4))
+        dsg.request(3, 29)
+        result = route(dsg.graph, 3, 29)
+        assert result.path == [3, 29]
+        assert result.distance == 0
+        assert route_reference(dsg.graph, 3, 29).path == [3, 29]

@@ -1,0 +1,111 @@
+"""Tests for the churn-capable scenario layer (workloads.scenarios)."""
+
+import pytest
+
+from repro.core.dsg import DSGConfig
+from repro.workloads import (
+    JoinEvent,
+    LeaveEvent,
+    RequestEvent,
+    churn_scenario,
+    run_scenario,
+    scale_scenario,
+)
+
+
+def replay_validity(scenario):
+    """Every request references peers alive at that point of the schedule."""
+    alive = set(scenario.initial_keys)
+    for event in scenario.events:
+        if isinstance(event, RequestEvent):
+            assert event.source in alive and event.destination in alive
+            assert event.source != event.destination
+        elif isinstance(event, JoinEvent):
+            assert event.key not in alive
+            alive.add(event.key)
+        else:
+            assert event.key in alive
+            alive.remove(event.key)
+    return alive
+
+
+class TestChurnScenario:
+    @pytest.mark.parametrize("base", ["temporal", "hot-pairs", "uniform"])
+    def test_schedule_is_valid_and_deterministic(self, base):
+        first = churn_scenario(n=48, length=400, seed=7, base=base, churn_rate=0.05)
+        second = churn_scenario(n=48, length=400, seed=7, base=base, churn_rate=0.05)
+        assert first.events == second.events
+        assert len(first.events) == 400
+        replay_validity(first)
+        assert first.join_count > 0
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(KeyError):
+            churn_scenario(n=48, length=10, seed=1, base="nope")
+
+    def test_run_scenario_accounting(self):
+        scenario = churn_scenario(n=48, length=400, seed=3, base="temporal", churn_rate=0.04)
+        report = run_scenario(scenario, DSGConfig(seed=5), keep_costs=True)
+        assert report.requests == scenario.request_count
+        assert report.joins == scenario.join_count
+        assert report.leaves == scenario.leave_count
+        assert report.final_nodes == report.initial_nodes + report.joins - report.leaves
+        assert len(report.costs) == report.requests
+        assert report.total_cost == sum(report.costs)
+        assert report.average_cost == pytest.approx(report.total_cost / report.requests)
+        assert report.elapsed_seconds > 0
+        assert report.batches >= 1
+
+    def test_batched_replay_matches_sequential_replay(self):
+        from repro.core.dsg import DynamicSkipGraph
+
+        scenario = churn_scenario(n=32, length=250, seed=11, base="temporal", churn_rate=0.06)
+        report = run_scenario(scenario, DSGConfig(seed=13), keep_costs=True)
+
+        dsg = DynamicSkipGraph(keys=scenario.initial_keys, config=DSGConfig(seed=13))
+        sequential_costs = []
+        for event in scenario.events:
+            if isinstance(event, RequestEvent):
+                sequential_costs.append(dsg.request(event.source, event.destination).cost)
+            elif isinstance(event, JoinEvent):
+                dsg.add_node(event.key)
+            else:
+                dsg.remove_node(event.key)
+        assert report.costs == sequential_costs
+
+
+class TestScaleScenario:
+    def test_schedule_shape(self):
+        scenario = scale_scenario(
+            n=512, length=1200, seed=19, hot_pair_count=8, cross_pair_count=2,
+            flash_count=2, crowd_size=6, churn_rate=0.01,
+        )
+        assert len(scenario.events) == 1200
+        alive = replay_validity(scenario)
+        assert scenario.request_count + scenario.join_count + scenario.leave_count == 1200
+        assert len(alive) == 512 + scenario.join_count - scenario.leave_count
+
+    def test_warmup_prologue_touches_hot_pairs_first(self):
+        scenario = scale_scenario(
+            n=512, length=600, seed=23, hot_pair_count=8, cross_pair_count=2,
+            flash_count=1, crowd_size=6, churn_rate=0.0,
+        )
+        prologue = scenario.events[:8]
+        assert all(isinstance(event, RequestEvent) for event in prologue)
+        seen_pairs = {frozenset((e.source, e.destination)) for e in prologue}
+        assert len(seen_pairs) == 8
+
+    def test_deterministic(self):
+        first = scale_scenario(n=512, length=500, seed=29, hot_pair_count=8, crowd_size=6)
+        second = scale_scenario(n=512, length=500, seed=29, hot_pair_count=8, crowd_size=6)
+        assert first.events == second.events
+
+    def test_runs_to_completion_small(self):
+        scenario = scale_scenario(
+            n=256, length=600, seed=31, hot_pair_count=8, cross_pair_count=1,
+            flash_count=1, crowd_size=6, churn_rate=0.005,
+        )
+        report = run_scenario(scenario, DSGConfig(seed=7))
+        assert report.requests == scenario.request_count
+        assert report.requests_per_second > 0
+        assert report.final_nodes == report.initial_nodes + report.joins - report.leaves

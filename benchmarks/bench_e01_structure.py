@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(sizes=(16, 64, 256))
+PARAMS = experiment_params("E1", sizes=(16, 64, 256))
 CRITICAL_CHECKS = ['fig1_level1_split', 'heights_logarithmic']
 
 

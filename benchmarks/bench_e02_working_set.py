@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(n=64, length=150)
+PARAMS = experiment_params("E2", n=64, length=150)
 CRITICAL_CHECKS = ['fig2_final_working_set_is_5']
 
 

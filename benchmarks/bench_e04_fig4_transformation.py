@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict()
+PARAMS = experiment_params("E4")
 CRITICAL_CHECKS = ['merged_group_moves_to_0_subgraph', 'pair_directly_linked']
 
 

@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(sizes=(64, 256, 1024), a_values=(3, 4, 8), trials=3)
+PARAMS = experiment_params("E5", sizes=(64, 256, 1024), a_values=(3, 4, 8), trials=3)
 CRITICAL_CHECKS = ['lemma1_rank_bound_holds']
 
 

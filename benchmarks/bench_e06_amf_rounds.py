@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(sizes=(32, 64, 128, 256, 512), trials=2)
+PARAMS = experiment_params("E6", sizes=(32, 64, 128, 256, 512), trials=2)
 CRITICAL_CHECKS = ['structural_rounds_sublinear']
 
 

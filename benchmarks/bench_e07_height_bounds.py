@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(n=64, length=150)
+PARAMS = experiment_params("E7", n=64, length=150)
 CRITICAL_CHECKS = ['lemma5_height_bound', 'lemma4_link_level_bound']
 
 

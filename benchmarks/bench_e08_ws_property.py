@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(n=64, length=200)
+PARAMS = experiment_params("E8", n=64, length=200)
 CRITICAL_CHECKS = ['theorem2_ratio_bounded']
 
 

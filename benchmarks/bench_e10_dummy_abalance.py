@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(n=48, length=150, a_values=(2, 4, 8))
+PARAMS = experiment_params("E10", n=48, length=150, a_values=(2, 4, 8))
 CRITICAL_CHECKS = ['runs_bounded_by_2a_plus_2']
 
 

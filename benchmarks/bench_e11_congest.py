@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(sizes=(32, 64, 128))
+PARAMS = experiment_params("E11", sizes=(32, 64, 128))
 CRITICAL_CHECKS = ['all_messages_within_congest_budget', 'node_memory_logarithmic']
 
 

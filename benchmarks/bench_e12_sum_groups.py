@@ -5,9 +5,11 @@ Runs the experiment once under the benchmark timer, prints its tables (so
 and asserts the experiment's checks.
 """
 
+from conftest import experiment_params
+
 from repro.experiments import run_experiment
 
-PARAMS = dict(sizes=(64, 256, 1024), n=48, length=120)
+PARAMS = experiment_params("E12", sizes=(64, 256, 1024), n=48, length=120)
 CRITICAL_CHECKS = ['distributed_sum_exact']
 
 

@@ -43,12 +43,16 @@ from repro.core import (
     working_set_number,
 )
 from repro.baselines import (
+    DSGAdapter,
     DirectLinkOracle,
     OfflineStaticBaseline,
+    ServingAlgorithm,
     SplayNetBaseline,
     StaticSkipGraphBaseline,
+    make_comparison_algorithms,
+    play_scenario,
 )
-from repro.workloads import WORKLOADS, generate_workload
+from repro.workloads import WORKLOADS, generate_workload, run_scenario
 from repro.analysis import (
     competitive_report,
     summarize_baseline_run,
@@ -62,6 +66,7 @@ __all__ = [
     "AMFResult",
     "BalancedSkipList",
     "CommunicationHistory",
+    "DSGAdapter",
     "DSGConfig",
     "DSGNodeState",
     "DirectLinkOracle",
@@ -70,6 +75,7 @@ __all__ = [
     "MembershipVector",
     "OfflineStaticBaseline",
     "RequestResult",
+    "ServingAlgorithm",
     "SkipGraph",
     "SkipGraphNode",
     "SkipList",
@@ -83,8 +89,11 @@ __all__ = [
     "competitive_report",
     "distributed_sum",
     "generate_workload",
+    "make_comparison_algorithms",
+    "play_scenario",
     "route",
     "run_experiment",
+    "run_scenario",
     "summarize_baseline_run",
     "summarize_dsg_run",
     "tree_view",

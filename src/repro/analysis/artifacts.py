@@ -1,0 +1,218 @@
+"""Benchmark artifacts: structured ``BENCH_*.json`` files and comparison reports.
+
+The benchmark suite (``benchmarks/``) regenerates the paper's comparisons at
+scale; this module gives those runs a durable, machine-readable output so CI
+can archive them and humans can diff them across commits:
+
+* :class:`AlgorithmResult` — one algorithm's aggregate outcome on one
+  benchmark: request count, routing / adjustment / total cost (Equation 1),
+  wall time, throughput and the ratio of its routing cost to the working
+  set bound ``WS(σ)`` of Theorem 1 (the amortized lower bound every
+  model-conforming algorithm is subject to).
+* :class:`BenchmarkArtifact` — a benchmark run: configuration, total wall
+  time, the sequence's working set bound, per-algorithm results and check
+  outcomes.  Serialised to ``BENCH_<name>.json`` by :func:`write_artifact`
+  and read back by :func:`load_artifact` / :func:`load_artifacts`.
+* :func:`render_comparison` — a cross-algorithm markdown report over one or
+  more artifacts (what ``dsg-experiments compare`` prints).
+
+The JSON schema is flat and versioned (``schema_version``); artifacts are
+self-describing so the ``compare`` CLI needs nothing but the files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "AlgorithmResult",
+    "BenchmarkArtifact",
+    "load_artifact",
+    "load_artifacts",
+    "render_comparison",
+    "write_artifact",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class AlgorithmResult:
+    """Aggregate outcome of one algorithm on one benchmark workload.
+
+    Parameters
+    ----------
+    name:
+        Algorithm label (``dsg``, ``splaynet``, ``static-random``, ...).
+    requests:
+        Requests served.
+    total_routing, total_adjustment, total_cost:
+        Summed Equation 1 components (``total_cost`` includes the ``+1``
+        per request).
+    wall_seconds:
+        Wall-clock serving time for this algorithm alone.
+    ws_bound_ratio:
+        ``total_routing / WS(σ)`` against Theorem 1's bound for the served
+        sequence, when the artifact carries one (``None`` otherwise).
+    final_height:
+        Structure height after the run (``None`` where meaningless).
+    joins, leaves:
+        Churn events absorbed during the run.
+    """
+
+    name: str
+    requests: int
+    total_routing: int
+    total_adjustment: int
+    total_cost: int
+    wall_seconds: float
+    ws_bound_ratio: Optional[float] = None
+    final_height: Optional[int] = None
+    joins: int = 0
+    leaves: int = 0
+
+    @property
+    def average_routing(self) -> float:
+        return self.total_routing / self.requests if self.requests else 0.0
+
+    @property
+    def average_adjustment(self) -> float:
+        return self.total_adjustment / self.requests if self.requests else 0.0
+
+    @property
+    def average_cost(self) -> float:
+        return self.total_cost / self.requests if self.requests else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+@dataclass
+class BenchmarkArtifact:
+    """One benchmark run: config, timings, per-algorithm results, checks."""
+
+    benchmark: str
+    config: Dict[str, object] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    working_set_bound: Optional[float] = None
+    algorithms: List[AlgorithmResult] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def algorithm(self, name: str) -> AlgorithmResult:
+        """Look up one algorithm's result by label."""
+        for result in self.algorithms:
+            if result.name == name:
+                return result
+        raise KeyError(f"no algorithm {name!r} in artifact {self.benchmark!r}")
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(self.checks.values()) if self.checks else True
+
+
+def _artifact_filename(benchmark: str) -> str:
+    slug = "".join(ch if (ch.isalnum() or ch in "-_") else "_" for ch in benchmark)
+    return f"BENCH_{slug}.json"
+
+
+def write_artifact(artifact: BenchmarkArtifact, directory: Union[str, Path]) -> Path:
+    """Serialise ``artifact`` to ``<directory>/BENCH_<benchmark>.json``.
+
+    The directory is created if needed; an existing artifact of the same
+    benchmark is overwritten (one file per benchmark, newest run wins).
+    Returns the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _artifact_filename(artifact.benchmark)
+    path.write_text(json.dumps(asdict(artifact), indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
+    """Read one ``BENCH_*.json`` file back into a :class:`BenchmarkArtifact`."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version", 0)
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact {path} has schema version {version}; this reader supports <= {SCHEMA_VERSION}"
+        )
+    algorithms = [AlgorithmResult(**entry) for entry in data.get("algorithms", [])]
+    return BenchmarkArtifact(
+        benchmark=data["benchmark"],
+        config=data.get("config", {}),
+        wall_seconds=data.get("wall_seconds", 0.0),
+        working_set_bound=data.get("working_set_bound"),
+        algorithms=algorithms,
+        checks=data.get("checks", {}),
+        schema_version=version,
+    )
+
+
+def load_artifacts(directory: Union[str, Path]) -> List[BenchmarkArtifact]:
+    """Load every ``BENCH_*.json`` under ``directory``, sorted by benchmark."""
+    directory = Path(directory)
+    artifacts = [load_artifact(path) for path in sorted(directory.glob("BENCH_*.json"))]
+    return sorted(artifacts, key=lambda artifact: artifact.benchmark)
+
+
+def _format(value: Optional[float], digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
+    """Render a cross-algorithm markdown report over ``artifacts``.
+
+    One section per benchmark: the configuration, a table with one row per
+    algorithm (averages per request, throughput, WS-bound ratio) and the
+    check outcomes.  Algorithms are ordered by average total cost, so the
+    winner reads first.
+    """
+    lines: List[str] = ["# Benchmark comparison", ""]
+    if not artifacts:
+        lines.append("_No BENCH_*.json artifacts found._")
+        return "\n".join(lines) + "\n"
+    for artifact in artifacts:
+        lines.append(f"## {artifact.benchmark}")
+        lines.append("")
+        if artifact.config:
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(artifact.config.items()))
+            lines.append(f"- config: {rendered}")
+        lines.append(f"- wall time: {artifact.wall_seconds:.2f}s")
+        if artifact.working_set_bound is not None:
+            lines.append(f"- working set bound WS(σ): {artifact.working_set_bound:.1f} (Theorem 1)")
+        lines.append("")
+        if artifact.algorithms:
+            lines.append(
+                "| algorithm | requests | avg routing | avg adjustment | avg cost (Eq. 1) "
+                "| req/s | routing / WS | height | churn |"
+            )
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|")
+            for result in sorted(artifact.algorithms, key=lambda r: r.average_cost):
+                churn = f"+{result.joins}/-{result.leaves}" if (result.joins or result.leaves) else "-"
+                lines.append(
+                    f"| {result.name} | {result.requests} | {_format(result.average_routing)} "
+                    f"| {_format(result.average_adjustment)} | {_format(result.average_cost)} "
+                    f"| {_format(result.requests_per_second, 0)} | {_format(result.ws_bound_ratio)} "
+                    f"| {_format(result.final_height)} | {churn} |"
+                )
+            lines.append("")
+        if artifact.checks:
+            lines.append("checks:")
+            for name, passed in sorted(artifact.checks.items()):
+                lines.append(f"- [{'PASS' if passed else 'FAIL'}] {name}")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

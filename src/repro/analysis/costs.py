@@ -70,18 +70,22 @@ def summarize_dsg_run(dsg: DynamicSkipGraph, name: str = "dsg",
 
 
 def summarize_baseline_run(run: BaselineRun) -> CostSummary:
-    """Summarise a baseline's :class:`BaselineRun`."""
-    routing = run.routing_series()
-    adjustment = [cost.adjustment for cost in run.costs]
+    """Summarise a :class:`BaselineRun` (any algorithm behind the adapter).
+
+    Reads the run's O(1) running counters, so it works identically for
+    retained runs and streaming (``keep_costs=False``) runs; only
+    ``routing_series`` — and hence :meth:`CostSummary.routing_tail` — needs
+    retention (it is empty, and the tail 0.0, for streaming runs).
+    """
     count = run.requests
     return CostSummary(
         name=run.name,
         requests=count,
-        total_routing=sum(routing),
-        total_adjustment=sum(adjustment),
-        average_routing=sum(routing) / count if count else 0.0,
-        average_adjustment=sum(adjustment) / count if count else 0.0,
-        average_cost=(sum(routing) + sum(adjustment) + count) / count if count else 0.0,
-        max_routing=max(routing, default=0),
-        routing_series=routing,
+        total_routing=run.total_routing,
+        total_adjustment=run.total_adjustment,
+        average_routing=run.average_routing,
+        average_adjustment=run.average_adjustment,
+        average_cost=run.average_cost,
+        max_routing=run.max_routing,
+        routing_series=run.routing_series(),
     )

@@ -1,4 +1,12 @@
-"""Small statistics helpers used across the experiments."""
+"""Small statistics helpers used across the experiments.
+
+Dependency-free implementations of the three summaries the experiment
+harness needs: percentiles with linear interpolation (tail costs of
+self-adjusting runs warm-up analysis, E9/E13), five-number ``describe``
+summaries (tables throughout), and the least-squares slope of ``y`` against
+``log2 x`` — the empirical check behind every ``O(log n)`` claim the paper
+makes (heights, Lemmas 4-5; AMF rounds, Theorem 3; routing distances).
+"""
 
 from __future__ import annotations
 

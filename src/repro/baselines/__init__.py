@@ -1,4 +1,4 @@
-"""Comparison baselines.
+"""Comparison baselines and the unified algorithm adapter.
 
 The paper evaluates DSG analytically against the class of algorithms that
 conform to its self-adjusting model (Theorem 1's working-set lower bound).
@@ -21,11 +21,24 @@ comparators the paper positions itself against:
     The trivial per-request lower bound of the model: every pair is already
     adjacent (routing distance 0), i.e. cost 1 per request.
 
-All baselines implement ``serve(requests)`` returning a
-:class:`BaselineRun` so the analysis layer can tabulate them uniformly.
+All of them — and DSG itself, through :class:`DSGAdapter` — implement the
+:class:`ServingAlgorithm` protocol (:mod:`repro.baselines.adapter`):
+``request``/``request_batch`` for traffic, ``join``/``leave`` for
+membership churn (Section IV-G), ``serve(requests)`` returning a
+:class:`BaselineRun` for plain sequences, and O(1) streaming cost counters.
+The scenario layer (:func:`repro.workloads.scenarios.run_scenario`) and
+:func:`play_scenario` drive any of them through any event schedule
+interchangeably; see ``docs/BASELINES.md``.
 """
 
 from repro.baselines.base import BaselineRun, RequestCost
+from repro.baselines.adapter import (
+    BatchServeOutcome,
+    DSGAdapter,
+    ServingAlgorithm,
+    make_comparison_algorithms,
+    play_scenario,
+)
 from repro.baselines.static_skipgraph import StaticSkipGraphBaseline
 from repro.baselines.offline_static import OfflineStaticBaseline
 from repro.baselines.splaynet import SplayNetBaseline
@@ -33,9 +46,14 @@ from repro.baselines.oracle import DirectLinkOracle
 
 __all__ = [
     "BaselineRun",
+    "BatchServeOutcome",
+    "DSGAdapter",
     "DirectLinkOracle",
     "OfflineStaticBaseline",
     "RequestCost",
+    "ServingAlgorithm",
     "SplayNetBaseline",
     "StaticSkipGraphBaseline",
+    "make_comparison_algorithms",
+    "play_scenario",
 ]

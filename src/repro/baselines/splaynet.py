@@ -7,7 +7,8 @@ between ``u`` and ``v``; afterwards the tree is locally adjusted by a
 containing both endpoints, then ``v`` is splayed to become ``u``'s child.
 Frequently communicating pairs therefore end up adjacent, just as in DSG —
 but within a single BST rather than a skip graph, which is exactly the
-comparison the paper draws in its related-work discussion.
+comparison the paper draws in its related-work discussion (and the closest
+self-adjusting comparator in experiment E9).
 
 The implementation below is a self-contained pointer-based BST with
 bottom-up splaying restricted to a subtree root, plus the cost accounting
@@ -16,13 +17,23 @@ baselines: ``routing`` is the number of intermediate nodes on the
 communication path (tree-path length minus one), and the adjustment cost is
 the number of rotations performed (each rotation is a local, constant-round
 operation in the distributed implementation of SplayNets).
+
+Serving fast path: :meth:`SplayNetBaseline.request` derives the LCA, both
+depths and the path length from **one upward walk per endpoint** (instead
+of repeated root walks for depth/LCA/distance).  Combined with splaying —
+which keeps hot pairs near their subtree root — a repeat request costs O(1)
+walk steps amortized, so 100k-request streams over skewed traffic serve at
+cache speed.  The single-walk path is exact, not approximate: the reference
+helpers (:meth:`depth`, :meth:`lowest_common_ancestor`,
+:meth:`tree_distance`) are kept and the tests assert agreement.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.baselines.base import BaselineRun, RequestCost
+from repro.baselines.adapter import ServingAlgorithm
+from repro.baselines.base import RequestCost
 from repro.skipgraph.node import Key
 
 __all__ = ["SplayNetBaseline"]
@@ -38,17 +49,28 @@ class _Node:
         self.right: Optional["_Node"] = None
 
 
-class SplayNetBaseline:
-    """A SplayNet over a fixed node population."""
+class SplayNetBaseline(ServingAlgorithm):
+    """A SplayNet over a dynamic node population.
+
+    Parameters
+    ----------
+    keys:
+        Initial population; the starting tree is the balanced BST over it.
+    adjust:
+        When ``False`` requests are only measured, never splayed — the
+        static-BST ablation (reported as ``static-bst``).
+    name:
+        Label override for tables and artifacts.
+    """
 
     def __init__(self, keys: Iterable[Key], adjust: bool = True, name: Optional[str] = None) -> None:
+        super().__init__(name=name or ("splaynet" if adjust else "static-bst"))
         keys = sorted(set(keys))
         if not keys:
             raise ValueError("SplayNet needs at least one node")
         self._nodes: Dict[Key, _Node] = {key: _Node(key) for key in keys}
         self.root = self._build_balanced(keys, parent=None)
         self.adjust = adjust
-        self.name = name or ("splaynet" if adjust else "static-bst")
         self.rotations = 0
 
     # ------------------------------------------------------------------ build
@@ -64,6 +86,7 @@ class SplayNetBaseline:
 
     # ------------------------------------------------------------- structure
     def depth(self, key: Key) -> int:
+        """Edges between ``key``'s node and the root (reference helper)."""
         node = self._nodes[key]
         depth = 0
         while node.parent is not None:
@@ -72,22 +95,38 @@ class SplayNetBaseline:
         return depth
 
     def height(self) -> int:
-        def walk(node: Optional[_Node]) -> int:
-            if node is None:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
+        # Iterative: splay trees can degenerate to Θ(n)-deep spines (e.g.
+        # under sorted access patterns), which would blow the recursion
+        # limit at the populations the scale benchmarks use.
+        height = 0
+        stack = [(self.root, 1)] if self.root is not None else []
+        while stack:
+            node, depth = stack.pop()
+            if depth > height:
+                height = depth
+            if node.left is not None:
+                stack.append((node.left, depth + 1))
+            if node.right is not None:
+                stack.append((node.right, depth + 1))
+        return height
 
-        return walk(self.root)
+    def population(self) -> int:
+        return len(self._nodes)
 
-    def _path_to_root(self, key: Key) -> List[Key]:
+    def _node_path_to_root(self, key: Key) -> List[_Node]:
         node = self._nodes[key]
-        path = [node.key]
+        path = [node]
         while node.parent is not None:
             node = node.parent
-            path.append(node.key)
+            path.append(node)
         return path
 
+    def _path_to_root(self, key: Key) -> List[Key]:
+        return [node.key for node in self._node_path_to_root(key)]
+
     def lowest_common_ancestor(self, u: Key, v: Key) -> Key:
+        """Reference LCA (root-path intersection); see :meth:`request` for
+        the single-walk serving path."""
         ancestors_u = self._path_to_root(u)
         ancestors_v = set(self._path_to_root(v))
         for key in ancestors_u:
@@ -103,16 +142,17 @@ class SplayNetBaseline:
         return (self.depth(u) - self.depth(lca)) + (self.depth(v) - self.depth(lca))
 
     def in_order(self) -> List[Key]:
+        # Iterative for the same deep-spine reason as :meth:`height`.
         result: List[Key] = []
-
-        def walk(node: Optional[_Node]) -> None:
-            if node is None:
-                return
-            walk(node.left)
+        stack: List[_Node] = []
+        node = self.root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
             result.append(node.key)
-            walk(node.right)
-
-        walk(self.root)
+            node = node.right
         return result
 
     def is_valid_bst(self) -> bool:
@@ -160,25 +200,96 @@ class SplayNetBaseline:
                 self._rotate_up(node)
 
     # ---------------------------------------------------------------- serving
-    def request(self, source: Key, destination: Key) -> RequestCost:
-        """Serve one request: measure the path, then double-splay."""
+    def _request(self, source: Key, destination: Key) -> RequestCost:
+        """Serve one request: measure the path, then double-splay.
+
+        One upward walk per endpoint yields both root paths; the LCA is the
+        deepest node where they merge, and the path length falls out of the
+        two walk prefixes — no separate depth or LCA traversals.  Splaying
+        keeps recently communicating pairs near their subtree root, so
+        repeat requests walk (and rotate) O(1) nodes amortized.
+        """
         if source not in self._nodes or destination not in self._nodes:
             raise KeyError(f"unknown endpoint in request ({source!r}, {destination!r})")
-        distance = self.tree_distance(source, destination)
+        if source == destination:
+            return RequestCost(source=source, destination=destination, routing=0, adjustment=0)
+
+        path_u = self._node_path_to_root(source)
+        path_v = self._node_path_to_root(destination)
+        # The root paths share a common suffix ending at the root; the LCA is
+        # the deepest shared node.  i/j end on the last indices *below* it.
+        i, j = len(path_u) - 1, len(path_v) - 1
+        while i >= 0 and j >= 0 and path_u[i] is path_v[j]:
+            i -= 1
+            j -= 1
+        lca = path_u[i + 1]
+        distance = (i + 1) + (j + 1)  # edges from u down... up to lca, and lca to v
         routing = max(0, distance - 1)  # intermediate nodes on the path
+
         adjustment = 0
-        if self.adjust and source != destination:
+        if self.adjust:
             before = self.rotations
-            lca_key = self.lowest_common_ancestor(source, destination)
-            lca_parent = self._nodes[lca_key].parent
-            self._splay_until(self._nodes[source], lca_parent)
+            lca_parent = lca.parent
+            self._splay_until(path_u[0], lca_parent)
             # Splay the destination below the source, on the side it belongs.
-            self._splay_until(self._nodes[destination], self._nodes[source])
+            self._splay_until(path_v[0], path_u[0])
             adjustment = self.rotations - before
         return RequestCost(source=source, destination=destination, routing=routing, adjustment=adjustment)
 
-    def serve(self, requests: Sequence[Tuple[Key, Key]]) -> BaselineRun:
-        run = BaselineRun(name=self.name)
-        for source, destination in requests:
-            run.record(self.request(source, destination))
-        return run
+    # ------------------------------------------------------------------ churn
+    def join(self, key: Key) -> None:
+        """Insert ``key`` as a BST leaf (standard search-tree insertion)."""
+        if key in self._nodes:
+            raise ValueError(f"key {key!r} already present")
+        node = _Node(key)
+        self._nodes[key] = node
+        current = self.root
+        if current is None:  # pragma: no cover - population never empties
+            self.root = node
+            return
+        while True:
+            if key < current.key:
+                if current.left is None:
+                    current.left = node
+                    node.parent = current
+                    return
+                current = current.left
+            else:
+                if current.right is None:
+                    current.right = node
+                    node.parent = current
+                    return
+                current = current.right
+
+    def leave(self, key: Key) -> None:
+        """Delete ``key`` with standard BST deletion.
+
+        A node with two children swaps payload with its in-order successor
+        (the minimum of the right subtree, which has at most one child) and
+        the successor's node is spliced out — the usual pointer-structure
+        deletion, kept deliberately splay-free so departures do not perturb
+        the adjustment accounting.
+        """
+        if key not in self._nodes:
+            raise KeyError(f"no node with key {key!r}")
+        if len(self._nodes) == 1:
+            raise ValueError("SplayNet needs at least one node")
+        node = self._nodes[key]
+        if node.left is not None and node.right is not None:
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key = successor.key
+            self._nodes[successor.key] = node
+            node = successor  # splice the successor's (≤1-child) node out
+        child = node.left if node.left is not None else node.right
+        parent = node.parent
+        if child is not None:
+            child.parent = parent
+        if parent is None:
+            self.root = child
+        elif parent.left is node:
+            parent.left = child
+        else:
+            parent.right = child
+        del self._nodes[key]

@@ -44,7 +44,7 @@ from repro.core.transformation import TransformationOutcome, transform
 from repro.core.working_set import CommunicationHistory
 from repro.simulation.rng import make_rng
 from repro.skipgraph.balance import a_balance_violations
-from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph
+from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph, draw_membership_bits
 from repro.skipgraph.membership import MembershipVector
 from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.routing import RoutingResult, route
@@ -147,6 +147,8 @@ class BatchOutcome:
     max_height: int
     elapsed_seconds: float
     results: Optional[List[RequestResult]] = None
+    #: Largest single-request routing distance of the batch.
+    max_routing: int = 0
 
     @property
     def average_cost(self) -> float:
@@ -243,13 +245,19 @@ class DynamicSkipGraph:
         return {key: state.memory_words(height) for key, state in self.states.items()}
 
     # --------------------------------------------------------------- requests
-    def request(self, source: Key, destination: Key) -> RequestResult:
-        """Serve one communication request (route, then self-adjust)."""
+    def request(self, source: Key, destination: Key, keep_result: bool = True) -> RequestResult:
+        """Serve one communication request (route, then self-adjust).
+
+        ``keep_result=False`` serves identically but does not append the
+        :class:`RequestResult` to :attr:`results` — the streaming mode the
+        adapter layer (:mod:`repro.baselines.adapter`) uses so unbounded
+        request streams only grow the O(1) running counters.
+        """
         if source == destination:
             raise ValueError("source and destination must differ")
         if not self.graph.has_node(source) or not self.graph.has_node(destination):
             raise KeyError(f"unknown endpoint in request ({source!r}, {destination!r})")
-        return self._serve(source, destination, keep_result=True)
+        return self._serve(source, destination, keep_result=keep_result)
 
     def _serve(self, u: Key, v: Key, keep_result: bool) -> RequestResult:
         """The per-request core shared by :meth:`request` and :meth:`run_requests`.
@@ -325,6 +333,7 @@ class DynamicSkipGraph:
         append_cost = costs.append
         batch_cost = 0
         batch_routing = 0
+        max_routing = 0
         max_height = 0
         started = time.perf_counter()
         for u, v in pairs:
@@ -332,7 +341,10 @@ class DynamicSkipGraph:
             cost = result.cost
             append_cost(cost)
             batch_cost += cost
-            batch_routing += result.routing.distance
+            routing = result.routing.distance
+            batch_routing += routing
+            if routing > max_routing:
+                max_routing = routing
             if result.height_after > max_height:
                 max_height = result.height_after
         elapsed = time.perf_counter() - started
@@ -345,6 +357,7 @@ class DynamicSkipGraph:
             max_height=max_height,
             elapsed_seconds=elapsed,
             results=self.results[-len(pairs):] if keep_results and pairs else ([] if keep_results else None),
+            max_routing=max_routing,
         )
 
     def _adjust(self, result: RequestResult, u: Key, v: Key, t: int) -> None:
@@ -487,9 +500,7 @@ class DynamicSkipGraph:
         self._check_keys([key])
         if self.graph.has_node(key):
             raise ValueError(f"key {key!r} already present")
-        bits: List[int] = []
-        while self._prefix_shared(key, bits):
-            bits.append(self._rng.randint(0, 1))
+        bits = draw_membership_bits(self.graph, key, self._rng)
         self.graph.add_node(SkipGraphNode(key=key, membership=MembershipVector(bits), payload=payload))
         state = DSGNodeState(key=key)
         state.group_base = initial_group_base(self.graph.singleton_level(key))
@@ -497,16 +508,6 @@ class DynamicSkipGraph:
         self.history.total_nodes = len(self.graph.real_keys)
         if self.config.maintain_a_balance:
             self.restore_a_balance()
-
-    def _prefix_shared(self, key: Key, bits: List[int]) -> bool:
-        prefix = tuple(bits)
-        for other in self.graph.real_keys:
-            if other == key:
-                continue
-            membership = self.graph.membership(other)
-            if len(membership) >= len(prefix) and membership.bits[: len(prefix)] == prefix:
-                return True
-        return False
 
     def remove_node(self, key: Key) -> None:
         """Remove a peer (Section IV-G)."""

@@ -10,6 +10,15 @@ Run everything with smaller, faster parameters and write CSVs::
 
     dsg-experiments run all --quick --csv-dir results/
 
+Archive structured run artifacts (CI uploads these)::
+
+    dsg-experiments run E1 --quick --artifact-dir bench-artifacts/
+
+Render the cross-algorithm markdown report from ``BENCH_*.json`` artifacts
+(written by ``--artifact-dir`` runs and the benchmark suite)::
+
+    dsg-experiments compare bench-artifacts/ --output comparison.md
+
 List what is available::
 
     dsg-experiments list
@@ -23,6 +32,12 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.artifacts import (
+    BenchmarkArtifact,
+    load_artifacts,
+    render_comparison,
+    write_artifact,
+)
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -50,7 +65,7 @@ QUICK_PARAMS = {
     "E6": {"sizes": (32, 64, 128), "trials": 2},
     "E7": {"n": 32, "length": 80},
     "E8": {"n": 32, "length": 100},
-    "E9": {"n": 32, "length": 100, "workloads": ("repeated-pair", "hot-pairs", "temporal", "uniform")},
+    "E9": {"n": 32, "length": 100, "workloads": ("repeated-pair", "hot-pairs", "temporal", "uniform", "churn")},
     "E10": {"n": 32, "length": 80, "a_values": (2, 4)},
     "E11": {"sizes": (32, 64)},
     "E12": {"sizes": (64, 256), "n": 32, "length": 80},
@@ -80,10 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quick", action="store_true", help="use reduced sizes for a fast pass")
     run_parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
     run_parser.add_argument("--csv-dir", type=Path, default=None, help="write every table as CSV into this directory")
+    run_parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        help="write a structured BENCH_<id>.json artifact per experiment into this directory",
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="render a markdown comparison report from BENCH_*.json artifacts"
+    )
+    compare_parser.add_argument("directory", type=Path, help="directory holding BENCH_*.json files")
+    compare_parser.add_argument(
+        "--output", type=Path, default=None, help="also write the markdown report to this file"
+    )
     return parser
 
 
-def _run_one(experiment_id: str, quick: bool, seed: Optional[int], csv_dir: Optional[Path]) -> ExperimentResult:
+def _run_one(
+    experiment_id: str,
+    quick: bool,
+    seed: Optional[int],
+    csv_dir: Optional[Path],
+    artifact_dir: Optional[Path] = None,
+) -> ExperimentResult:
     params = dict(QUICK_PARAMS.get(experiment_id, {})) if quick else {}
     if seed is not None:
         params["seed"] = seed
@@ -97,6 +132,14 @@ def _run_one(experiment_id: str, quick: bool, seed: Optional[int], csv_dir: Opti
         for index, table in enumerate(result.tables):
             path = csv_dir / f"{experiment_id.lower()}_{index}.csv"
             table.write_csv(path)
+    if artifact_dir is not None:
+        artifact = BenchmarkArtifact(
+            benchmark=experiment_id,
+            config={**result.parameters, "quick": quick},
+            wall_seconds=elapsed,
+            checks=dict(result.checks),
+        )
+        write_artifact(artifact, artifact_dir)
     return result
 
 
@@ -110,10 +153,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id:>4}  {spec.title}  [{spec.paper_artifact}]")
         return 0
 
+    if args.command == "compare":
+        if not args.directory.is_dir():
+            print(f"no such artifact directory: {args.directory}", file=sys.stderr)
+            return 1
+        report = render_comparison(load_artifacts(args.directory))
+        print(report)
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(report)
+        return 0
+
     targets = sorted(EXPERIMENTS, key=lambda e: int(e[1:])) if args.experiment.lower() == "all" else [args.experiment.upper()]
     failures: List[str] = []
     for experiment_id in targets:
-        result = _run_one(experiment_id, quick=args.quick, seed=args.seed, csv_dir=args.csv_dir)
+        result = _run_one(
+            experiment_id,
+            quick=args.quick,
+            seed=args.seed,
+            csv_dir=args.csv_dir,
+            artifact_dir=args.artifact_dir,
+        )
         if not result.all_passed:
             failures.append(experiment_id)
     if failures:

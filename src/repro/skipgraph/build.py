@@ -33,6 +33,7 @@ __all__ = [
     "build_skip_graph",
     "build_balanced_skip_graph",
     "build_skip_graph_from_membership",
+    "draw_membership_bits",
 ]
 
 
@@ -95,6 +96,32 @@ def build_balanced_skip_graph(keys: Iterable[Key]) -> SkipGraph:
     for key in keys:
         graph.add_node(SkipGraphNode(key=key, membership=MembershipVector(vectors[key])))
     return graph
+
+
+def draw_membership_bits(graph: SkipGraph, key: Key, rng: random.Random) -> List[int]:
+    """Draw random membership bits for a node joining ``graph`` (Section IV-G).
+
+    Bits are appended uniformly at random until no existing *real* node
+    shares the prefix — the classical join rule, which keeps the expected
+    height at ``O(log n)``.  Used by every structure that supports online
+    joins (``DynamicSkipGraph.add_node`` and the static baselines' ``join``)
+    so they all churn identically given the same RNG stream.
+    """
+    bits: List[int] = []
+
+    def prefix_shared() -> bool:
+        prefix = tuple(bits)
+        for other in graph.real_keys:
+            if other == key:
+                continue
+            membership = graph.membership(other)
+            if len(membership) >= len(prefix) and membership.bits[: len(prefix)] == prefix:
+                return True
+        return False
+
+    while prefix_shared():
+        bits.append(rng.randint(0, 1))
+    return bits
 
 
 def build_skip_graph_from_membership(membership: Mapping[Key, Sequence[int] | str]) -> SkipGraph:

@@ -56,6 +56,8 @@ from repro.workloads.scenarios import (
     churn_scenario,
     run_scenario,
     scale_scenario,
+    scenario_requests,
+    workload_scenario,
 )
 from repro.workloads.paper_examples import (
     fig2_access_pattern,
@@ -87,7 +89,9 @@ __all__ = [
     "run_scenario",
     "save_trace",
     "scale_scenario",
+    "scenario_requests",
     "temporal_locality",
+    "workload_scenario",
     "uniform_pairs",
     "zipf_pairs",
     "zipf_with_drift",

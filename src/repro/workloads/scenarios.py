@@ -14,11 +14,17 @@ later traffic may draw from, scenarios are generated *online* — the
 samplers track the alive set as the schedule is produced — and replayed
 deterministically.
 
-:func:`run_scenario` executes a scenario against a
-:class:`~repro.core.dsg.DynamicSkipGraph`, feeding maximal request runs
-through the batched :meth:`~repro.core.dsg.DynamicSkipGraph.run_requests`
-pipeline (so a churn-free stretch pays batch prices) and returning a
-:class:`ScenarioReport` with the cost/throughput accounting.
+:func:`run_scenario` executes a scenario against any
+:class:`~repro.baselines.adapter.ServingAlgorithm` — by default a
+:class:`~repro.baselines.adapter.DSGAdapter` over a fresh
+:class:`~repro.core.dsg.DynamicSkipGraph` — feeding maximal request runs
+through the algorithm's batch pipeline (for DSG the amortized
+:meth:`~repro.core.dsg.DynamicSkipGraph.run_requests`, so a churn-free
+stretch pays batch prices) and returning a :class:`ScenarioReport` with the
+cost/throughput accounting.  Passing ``algorithm=`` drives a baseline
+(static skip graph, offline-static, SplayNet, oracle) through the *same*
+schedule, which is how E9 and ``benchmarks/bench_e09_comparison.py`` make
+churn-capable comparisons at scale.
 
 :func:`churn_scenario` builds general traffic-plus-churn schedules;
 :func:`scale_scenario` builds the 10k-node/100k-request shape used by the
@@ -34,7 +40,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.dsg import BatchOutcome, DSGConfig, DynamicSkipGraph
+from repro.baselines.adapter import DSGAdapter, ServingAlgorithm
+from repro.core.dsg import DSGConfig
 from repro.simulation.rng import make_rng
 from repro.skipgraph.node import Key
 
@@ -47,6 +54,8 @@ __all__ = [
     "churn_scenario",
     "run_scenario",
     "scale_scenario",
+    "scenario_requests",
+    "workload_scenario",
 ]
 
 Request = Tuple[Key, Key]
@@ -101,7 +110,16 @@ class Scenario:
 
 @dataclass
 class ScenarioReport:
-    """Outcome of one :func:`run_scenario` execution."""
+    """Outcome of one :func:`run_scenario` execution.
+
+    ``algorithm`` names the :class:`~repro.baselines.adapter.ServingAlgorithm`
+    that served the schedule (``"dsg"`` for the default adapter).
+    ``working_set_bound`` is the bound accumulated over *this scenario's*
+    requests (a delta of the algorithm's running sum, so reports stay
+    scoped when an adapter serves several scenarios) and ``dummy_count``
+    the structure's current auxiliary nodes; both are 0 for algorithms
+    that do not track them (only DSG does).
+    """
 
     scenario: str
     initial_nodes: int
@@ -119,6 +137,7 @@ class ScenarioReport:
     elapsed_seconds: float
     batches: int
     costs: Optional[List[int]] = None
+    algorithm: str = "dsg"
 
     @property
     def requests_per_second(self) -> float:
@@ -132,19 +151,38 @@ def run_scenario(
     scenario: Scenario,
     config: Optional[DSGConfig] = None,
     keep_costs: bool = False,
+    algorithm: Optional[ServingAlgorithm] = None,
 ) -> ScenarioReport:
-    """Execute ``scenario`` on a fresh :class:`DynamicSkipGraph`.
+    """Execute ``scenario`` on any :class:`ServingAlgorithm`.
 
-    Consecutive requests are flushed through the batched
-    :meth:`~repro.core.dsg.DynamicSkipGraph.run_requests` pipeline
-    (``keep_results=False`` — aggregates stay exact via the running
-    counters); joins and leaves call the Section IV-G membership
-    operations.  Per-request costs are therefore identical to a
-    sequential ``request()`` replay of the same schedule.
+    With no ``algorithm`` a fresh :class:`~repro.core.dsg.DynamicSkipGraph`
+    is built over ``scenario.initial_keys`` (``config`` applies to it) and
+    driven through a :class:`~repro.baselines.adapter.DSGAdapter`.  Pass a
+    pre-built adapter — a baseline, or a ``DSGAdapter`` around a customised
+    instance — to replay the identical schedule on a different algorithm.
+
+    Consecutive requests are flushed through the algorithm's
+    :meth:`~repro.baselines.adapter.ServingAlgorithm.request_batch`
+    pipeline (for DSG, the amortized ``run_requests`` with
+    ``keep_results=False`` — aggregates stay exact via the running
+    counters); joins and leaves call the membership operations
+    (Section IV-G for the skip-graph structures).  For DSG, per-request
+    costs are identical to a sequential ``request()`` replay of the same
+    schedule.
     """
-    dsg = DynamicSkipGraph(keys=scenario.initial_keys, config=config)
+    if algorithm is None:
+        algorithm = DSGAdapter(keys=scenario.initial_keys, config=config)
+    elif config is not None:
+        raise ValueError("config applies to the default DSG algorithm only")
+    base_served = algorithm.requests_served
+    base_cost = algorithm.total_cost
+    base_routing = algorithm.total_routing
+    # working_set_bound() is a running sum over the request stream, so its
+    # delta is exactly this scenario's contribution — keeping every report
+    # field scoped to the scenario even when the adapter is reused.
+    base_ws = algorithm.working_set_bound()
     joins = leaves = batches = 0
-    max_height = dsg.height()
+    max_height = algorithm.height()
     costs: Optional[List[int]] = [] if keep_costs else None
     pending: List[Request] = []
     started = time.perf_counter()
@@ -153,11 +191,11 @@ def run_scenario(
         nonlocal batches, max_height
         if not pending:
             return
-        outcome: BatchOutcome = dsg.run_requests(pending, keep_results=False)
+        outcome = algorithm.request_batch(pending, keep_costs=keep_costs)
         batches += 1
         if outcome.max_height > max_height:
             max_height = outcome.max_height
-        if costs is not None:
+        if costs is not None and outcome.costs is not None:
             costs.extend(outcome.costs)
         pending.clear()
 
@@ -166,34 +204,77 @@ def run_scenario(
             pending.append((event.source, event.destination))
         elif isinstance(event, JoinEvent):
             flush()
-            dsg.add_node(event.key)
+            algorithm.join(event.key)
             joins += 1
         else:
             flush()
-            dsg.remove_node(event.key)
+            algorithm.leave(event.key)
             leaves += 1
-        if dsg.height() > max_height:
-            max_height = dsg.height()
+        if not isinstance(event, RequestEvent):
+            height = algorithm.height()
+            if height > max_height:
+                max_height = height
     flush()
     elapsed = time.perf_counter() - started
 
+    served = algorithm.requests_served - base_served
+    total_cost = algorithm.total_cost - base_cost
     return ScenarioReport(
         scenario=scenario.name,
         initial_nodes=len(scenario.initial_keys),
-        final_nodes=dsg.n,
-        requests=dsg.requests_served(),
+        final_nodes=algorithm.population(),
+        requests=served,
         joins=joins,
         leaves=leaves,
-        total_cost=dsg.total_cost(),
-        total_routing_cost=dsg.total_routing_cost(),
-        average_cost=dsg.average_cost(),
-        working_set_bound=dsg.working_set_bound() if dsg.config.track_working_set else 0.0,
-        final_height=dsg.height(),
+        total_cost=total_cost,
+        total_routing_cost=algorithm.total_routing - base_routing,
+        average_cost=total_cost / served if served else 0.0,
+        working_set_bound=algorithm.working_set_bound() - base_ws,
+        final_height=algorithm.height(),
         max_height=max_height,
-        dummy_count=dsg.dummy_count(),
+        dummy_count=algorithm.dummy_count(),
         elapsed_seconds=elapsed,
         batches=batches,
         costs=costs,
+        algorithm=algorithm.name,
+    )
+
+
+def scenario_requests(scenario: Scenario) -> List[Request]:
+    """The scenario's request events as plain ``(source, destination)`` pairs.
+
+    This is what the offline-static baseline optimises over and what the
+    working-set bound of Theorem 1 is computed from (the bound depends only
+    on the request sequence, never on the serving algorithm).
+    """
+    return [
+        (event.source, event.destination)
+        for event in scenario.events
+        if isinstance(event, RequestEvent)
+    ]
+
+
+def workload_scenario(
+    name: str,
+    keys: List[Key],
+    length: int,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> Scenario:
+    """Lift a churn-free workload into a :class:`Scenario`.
+
+    Wraps :func:`repro.workloads.sequences.generate_workload` so that plain
+    request sequences and churn schedules flow through the same
+    scenario-driven comparison machinery (E9 runs both kinds).
+    """
+    from repro.workloads.sequences import generate_workload
+
+    requests = generate_workload(name, keys, length, seed=seed, **kwargs)
+    return Scenario(
+        name=name,
+        initial_keys=list(keys),
+        events=[RequestEvent(u, v) for u, v in requests],
+        params={"workload": name, "n": len(keys), "length": length, "seed": seed, **kwargs},
     )
 
 

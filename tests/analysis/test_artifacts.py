@@ -1,0 +1,137 @@
+"""Tests for the benchmark artifact pipeline (analysis.artifacts + CLI)."""
+
+import json
+
+import pytest
+
+from repro.analysis.artifacts import (
+    AlgorithmResult,
+    BenchmarkArtifact,
+    load_artifact,
+    load_artifacts,
+    render_comparison,
+    write_artifact,
+)
+from repro.experiments.cli import main
+
+
+def sample_artifact():
+    return BenchmarkArtifact(
+        benchmark="e09_comparison",
+        config={"n": 256, "length": 2000, "seed": 42},
+        wall_seconds=12.5,
+        working_set_bound=2400.0,
+        algorithms=[
+            AlgorithmResult(
+                name="dsg",
+                requests=2000,
+                total_routing=600,
+                total_adjustment=56000,
+                total_cost=58600,
+                wall_seconds=10.0,
+                ws_bound_ratio=0.25,
+                final_height=11,
+                joins=4,
+                leaves=2,
+            ),
+            AlgorithmResult(
+                name="static-random",
+                requests=2000,
+                total_routing=12800,
+                total_adjustment=0,
+                total_cost=14800,
+                wall_seconds=0.5,
+                ws_bound_ratio=5.33,
+                final_height=19,
+            ),
+        ],
+        checks={"dsg_routing_beats_static_on_scale_mix": True},
+    )
+
+
+class TestArtifactRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        artifact = sample_artifact()
+        path = write_artifact(artifact, tmp_path)
+        assert path.name == "BENCH_e09_comparison.json"
+        loaded = load_artifact(path)
+        assert loaded == artifact
+        assert loaded.algorithm("dsg").average_cost == pytest.approx(29.3)
+        assert loaded.all_checks_passed
+
+    def test_filename_is_sanitised(self, tmp_path):
+        artifact = BenchmarkArtifact(benchmark="weird name/with:chars")
+        path = write_artifact(artifact, tmp_path)
+        assert path.name == "BENCH_weird_name_with_chars.json"
+
+    def test_load_artifacts_sorted(self, tmp_path):
+        write_artifact(BenchmarkArtifact(benchmark="zeta"), tmp_path)
+        write_artifact(BenchmarkArtifact(benchmark="alpha"), tmp_path)
+        names = [artifact.benchmark for artifact in load_artifacts(tmp_path)]
+        assert names == ["alpha", "zeta"]
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        path.write_text(json.dumps({"benchmark": "future", "schema_version": 999}))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+    def test_unknown_algorithm_lookup(self):
+        with pytest.raises(KeyError):
+            sample_artifact().algorithm("nope")
+
+
+class TestAlgorithmResultDerived:
+    def test_averages_and_throughput(self):
+        result = sample_artifact().algorithm("static-random")
+        assert result.average_routing == pytest.approx(6.4)
+        assert result.average_cost == pytest.approx(7.4)
+        assert result.requests_per_second == pytest.approx(4000.0)
+
+    def test_empty_run_is_safe(self):
+        result = AlgorithmResult(
+            name="x", requests=0, total_routing=0, total_adjustment=0,
+            total_cost=0, wall_seconds=0.0,
+        )
+        assert result.average_cost == 0.0
+        assert result.requests_per_second == 0.0
+
+
+class TestRenderComparison:
+    def test_report_structure(self):
+        report = render_comparison([sample_artifact()])
+        assert report.startswith("# Benchmark comparison")
+        assert "## e09_comparison" in report
+        assert "working set bound WS(σ): 2400.0" in report
+        assert "| dsg |" in report and "| static-random |" in report
+        assert "[PASS] dsg_routing_beats_static_on_scale_mix" in report
+        # Cheapest algorithm (static here) is listed before the pricier one.
+        assert report.index("| static-random |") < report.index("| dsg |")
+
+    def test_empty_directory_renders_placeholder(self):
+        assert "No BENCH_*.json artifacts" in render_comparison([])
+
+    def test_failed_check_rendered(self):
+        artifact = BenchmarkArtifact(benchmark="b", checks={"broken": False})
+        assert "[FAIL] broken" in render_comparison([artifact])
+        assert not artifact.all_checks_passed
+
+
+class TestCompareCLI:
+    def test_compare_prints_and_writes(self, tmp_path, capsys):
+        write_artifact(sample_artifact(), tmp_path)
+        output = tmp_path / "report.md"
+        assert main(["compare", str(tmp_path), "--output", str(output)]) == 0
+        printed = capsys.readouterr().out
+        assert "## e09_comparison" in printed
+        assert output.read_text() == printed.rstrip("\n") + "\n" or output.exists()
+
+    def test_compare_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "missing")]) == 1
+
+    def test_run_artifact_dir_writes_experiment_artifact(self, tmp_path, capsys):
+        assert main(["run", "E4", "--artifact-dir", str(tmp_path)]) == 0
+        artifact = load_artifact(tmp_path / "BENCH_E4.json")
+        assert artifact.benchmark == "E4"
+        assert artifact.all_checks_passed
+        assert artifact.config.get("quick") is False

@@ -9,15 +9,24 @@ can archive them and humans can diff them across commits:
   wall time, throughput and the ratio of its routing cost to the working
   set bound ``WS(σ)`` of Theorem 1 (the amortized lower bound every
   model-conforming algorithm is subject to).
+* :class:`ProtocolResult` — one message-passing protocol's outcome on the
+  CONGEST simulator (Section III): rounds, messages, bits, the maximum
+  message size against the ``c * log2 n`` budget, congestion violations
+  (must be zero for conformance) and churn-induced drops, which are
+  accounted separately.  Emitted by ``bench_e11_congest`` /
+  ``bench_e06_amf_rounds``.
 * :class:`BenchmarkArtifact` — a benchmark run: configuration, total wall
-  time, the sequence's working set bound, per-algorithm results and check
-  outcomes.  Serialised to ``BENCH_<name>.json`` by :func:`write_artifact`
-  and read back by :func:`load_artifact` / :func:`load_artifacts`.
+  time, the sequence's working set bound, per-algorithm and per-protocol
+  results and check outcomes.  Serialised to ``BENCH_<name>.json`` by
+  :func:`write_artifact` and read back by :func:`load_artifact` /
+  :func:`load_artifacts`.
 * :func:`render_comparison` — a cross-algorithm markdown report over one or
   more artifacts (what ``dsg-experiments compare`` prints).
 
 The JSON schema is flat and versioned (``schema_version``); artifacts are
 self-describing so the ``compare`` CLI needs nothing but the files.
+Version 2 added the ``protocols`` section; version-1 files load as
+artifacts without protocol rows.
 """
 
 from __future__ import annotations
@@ -30,13 +39,14 @@ from typing import Dict, List, Optional, Sequence, Union
 __all__ = [
     "AlgorithmResult",
     "BenchmarkArtifact",
+    "ProtocolResult",
     "load_artifact",
     "load_artifacts",
     "render_comparison",
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -94,14 +104,65 @@ class AlgorithmResult:
 
 
 @dataclass
+class ProtocolResult:
+    """One message-passing protocol's outcome on the CONGEST simulator.
+
+    Parameters
+    ----------
+    name:
+        Protocol label (``routing``, ``broadcast``, ``sum``, ``amf``).
+    n:
+        Population the protocol ran over (at install time; churn may move
+        it during the run).
+    rounds, messages, total_bits:
+        Synchronous rounds executed and traffic delivered.
+    max_message_bits, budget_bits:
+        Largest message observed versus the ``c * log2 n`` CONGEST budget
+        it must stay within.
+    congestion_violations:
+        Per-link per-round violations — zero for a conforming protocol.
+    dropped_messages:
+        Messages lost to churn (links or receivers that disappeared);
+        accounted separately from violations.
+    joins, leaves:
+        Churn events replayed while the protocol ran.
+    wall_seconds:
+        Wall-clock simulation time for this protocol alone.
+    """
+
+    name: str
+    n: int
+    rounds: int
+    messages: int
+    total_bits: int
+    max_message_bits: int
+    budget_bits: int
+    congestion_violations: int
+    dropped_messages: int = 0
+    joins: int = 0
+    leaves: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def within_budget(self) -> bool:
+        return self.max_message_bits <= self.budget_bits
+
+    @property
+    def conformant(self) -> bool:
+        """CONGEST conformance: within the bit budget, zero violations."""
+        return self.within_budget and self.congestion_violations == 0
+
+
+@dataclass
 class BenchmarkArtifact:
-    """One benchmark run: config, timings, per-algorithm results, checks."""
+    """One benchmark run: config, timings, per-algorithm/protocol results, checks."""
 
     benchmark: str
     config: Dict[str, object] = field(default_factory=dict)
     wall_seconds: float = 0.0
     working_set_bound: Optional[float] = None
     algorithms: List[AlgorithmResult] = field(default_factory=list)
+    protocols: List[ProtocolResult] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -111,6 +172,13 @@ class BenchmarkArtifact:
             if result.name == name:
                 return result
         raise KeyError(f"no algorithm {name!r} in artifact {self.benchmark!r}")
+
+    def protocol(self, name: str) -> ProtocolResult:
+        """Look up one protocol's result by label (first match)."""
+        for result in self.protocols:
+            if result.name == name:
+                return result
+        raise KeyError(f"no protocol {name!r} in artifact {self.benchmark!r}")
 
     @property
     def all_checks_passed(self) -> bool:
@@ -145,12 +213,14 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
             f"artifact {path} has schema version {version}; this reader supports <= {SCHEMA_VERSION}"
         )
     algorithms = [AlgorithmResult(**entry) for entry in data.get("algorithms", [])]
+    protocols = [ProtocolResult(**entry) for entry in data.get("protocols", [])]
     return BenchmarkArtifact(
         benchmark=data["benchmark"],
         config=data.get("config", {}),
         wall_seconds=data.get("wall_seconds", 0.0),
         working_set_bound=data.get("working_set_bound"),
         algorithms=algorithms,
+        protocols=protocols,
         checks=data.get("checks", {}),
         schema_version=version,
     )
@@ -208,6 +278,20 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
                     f"| {_format(result.average_adjustment)} | {_format(result.average_cost)} "
                     f"| {_format(result.requests_per_second, 0)} | {_format(result.ws_bound_ratio)} "
                     f"| {_format(result.final_height)} | {churn} |"
+                )
+            lines.append("")
+        if artifact.protocols:
+            lines.append(
+                "| protocol | n | rounds | messages | max bits | budget bits "
+                "| violations | drops | churn |"
+            )
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|")
+            for result in artifact.protocols:
+                churn = f"+{result.joins}/-{result.leaves}" if (result.joins or result.leaves) else "-"
+                lines.append(
+                    f"| {result.name} | {result.n} | {result.rounds} | {result.messages} "
+                    f"| {result.max_message_bits} | {result.budget_bits} "
+                    f"| {result.congestion_violations} | {result.dropped_messages} | {churn} |"
                 )
             lines.append("")
         if artifact.checks:

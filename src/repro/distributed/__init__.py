@@ -24,6 +24,15 @@ Protocols
 ``run_amf_protocol``
     The gather-sample-decide pipeline of AMF (Algorithm 2).
 
+Each ``run_*`` entry point builds a fresh network and simulator; the
+matching ``install_*`` function registers a new process generation on an
+*existing* engine instead (retire the previous one first), which is how
+the churn arena (``benchmarks/bench_e11_congest.py``) restarts protocols
+across membership changes replayed by
+:func:`repro.workloads.scenarios.replay_scenario` — and how the lifecycle
+property tests show a post-churn rerun on a reused engine reproduces a
+fresh simulator.
+
 The aggregation protocols communicate over the balanced skip list's
 *segment* links (each node talks to the promoted node owning its segment).
 In a real deployment those exchanges are relayed over at most ``2a``
@@ -32,18 +41,38 @@ accounting, while the message-level version uses a direct logical link per
 segment for clarity.  This simplification is documented in DESIGN.md.
 """
 
-from repro.distributed.routing_protocol import RoutingProtocolResult, run_routing_protocol
-from repro.distributed.broadcast_protocol import BroadcastResult, run_list_broadcast
-from repro.distributed.sum_protocol import SumProtocolResult, run_sum_protocol
-from repro.distributed.amf_protocol import AMFProtocolResult, run_amf_protocol
+from repro.distributed.routing_protocol import (
+    RoutingProtocolResult,
+    install_routing,
+    make_router,
+    run_routing_protocol,
+    skip_graph_network,
+    trace_route,
+)
+from repro.distributed.broadcast_protocol import BroadcastResult, install_broadcast, run_list_broadcast
+from repro.distributed.sum_protocol import (
+    SumProtocolResult,
+    install_sum,
+    run_sum_protocol,
+    segment_network,
+)
+from repro.distributed.amf_protocol import AMFProtocolResult, install_amf, run_amf_protocol
 
 __all__ = [
     "AMFProtocolResult",
     "BroadcastResult",
     "RoutingProtocolResult",
     "SumProtocolResult",
+    "install_amf",
+    "install_broadcast",
+    "install_routing",
+    "install_sum",
+    "make_router",
     "run_amf_protocol",
     "run_list_broadcast",
     "run_routing_protocol",
     "run_sum_protocol",
+    "segment_network",
+    "skip_graph_network",
+    "trace_route",
 ]

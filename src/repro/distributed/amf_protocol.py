@@ -12,6 +12,13 @@ whose accounted rank is closest to the middle and broadcasts it back down.
 Each ``entry`` message carries a value and a weight (two words); ``flush``
 and ``median`` carry one word — all well within the CONGEST budget, which
 experiment E11 verifies by inspecting the recorded message sizes.
+
+Processes are active only while they stream (one entry per round towards
+the parent); waiting for children's flushes or for the median broadcast is
+passive and message-driven, so the engine's active set follows the
+streaming frontier instead of the whole population — at 4096 leaves the
+run costs O(total messages) process invocations, which is what makes the
+protocol measurable at benchmark scale (E6/E11 arenas).
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from repro.simulation import Message, Network, NodeProcess, RoundContext, Simula
 from repro.skiplist.balanced import BalancedSkipList
 from repro.distributed.sum_protocol import segment_tree
 
-__all__ = ["AMFProtocolResult", "run_amf_protocol"]
+__all__ = ["AMFProtocolResult", "install_amf", "run_amf_protocol"]
 
 Key = Hashable
 Entry = Tuple[float, int]  # (value, weight of discarded values at or below it)
@@ -40,6 +47,8 @@ class AMFProtocolResult:
     max_message_bits: int
     congestion_violations: int
     n: int
+    dropped_messages: int = 0
+    total_bits: int = 0
 
     def rank_interval(self, values: List[float]) -> Tuple[int, int]:
         below = sum(1 for value in values if value < self.median)
@@ -86,9 +95,10 @@ class _AMFProcess(NodeProcess):
         self.sample = sample
         self.sample_size = sample_size
         self.outbox: List[Entry] = []
+        self.streaming = False
         self.flushed = False
         self.median: Optional[float] = None
-        self.done = False
+        self.done = True  # passive until children report or streaming begins
 
     def memory_words(self) -> int:
         return 4 + 2 * max(len(self.entries), len(self.outbox)) + len(self.children)
@@ -96,8 +106,9 @@ class _AMFProcess(NodeProcess):
     # The streaming discipline: once all children flushed, move the local
     # entries (sampled if required) to the outbox and send one per round.
     def _start_streaming_if_ready(self) -> None:
-        if self.pending or self.outbox or self.flushed:
+        if self.pending or self.streaming:
             return
+        self.streaming = True
         entries = _sample(self.entries, self.sample_size) if self.sample else sorted(self.entries)
         if self.parent is None:
             self.median = _pick_median(entries)
@@ -106,29 +117,35 @@ class _AMFProcess(NodeProcess):
             self.outbox = list(entries)
 
     def _stream_one(self, ctx: RoundContext) -> None:
-        if self.parent is None or self.flushed:
+        if self.parent is None or not self.streaming or self.flushed:
             return
         if self.outbox:
             value, weight = self.outbox.pop(0)
             ctx.send(self.parent, "entry", [value, weight])
-        elif not self.pending and not self.outbox and self.entries is not None and not self.flushed:
+        else:
             # Everything sent: emit the flush marker exactly once.
-            if self._ready_to_flush:
-                ctx.send(self.parent, "flush", None)
-                self.flushed = True
+            ctx.send(self.parent, "flush", None)
+            self.flushed = True
 
-    @property
-    def _ready_to_flush(self) -> bool:
-        return not self.pending and not self.outbox and self._started
+    def _broadcast_median_if_known(self, ctx: RoundContext) -> None:
+        if self.median is None:
+            return
+        for child in self.children:
+            ctx.send(child, "median", self.median)
+
+    def _refresh_done(self) -> None:
+        # Active only while entries (or the flush marker) remain to stream;
+        # every other state is woken by message delivery.
+        self.done = not (self.streaming and not self.flushed and self.parent is not None)
 
     def on_start(self, ctx: RoundContext) -> None:
-        self._started = False
-        if not self.pending:
-            self._started = True
-            self._start_streaming_if_ready()
-            self._stream_one(ctx)
+        self._start_streaming_if_ready()  # leaves begin immediately
+        self._stream_one(ctx)
+        self._broadcast_median_if_known(ctx)  # degenerate single-node tree
+        self._refresh_done()
 
     def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        heard_median = False
         for message in inbox:
             if message.kind == "entry":
                 value, weight = message.payload
@@ -138,20 +155,15 @@ class _AMFProcess(NodeProcess):
             elif message.kind == "median":
                 self.median = message.payload
                 self.result = self.median
-        if not self.pending and not self._started:
-            self._started = True
-            self._start_streaming_if_ready()
+                heard_median = True
+        had_median = self.median is not None and not heard_median
+        self._start_streaming_if_ready()
         self._stream_one(ctx)
-
-        if self.parent is None and self.median is not None and not self.done:
-            for child in self.children:
-                ctx.send(child, "median", self.median)
-            self.done = True
-            return
-        if self.median is not None and not self.done:
-            for child in self.children:
-                ctx.send(child, "median", self.median)
-            self.done = True
+        if self.median is not None and not had_median:
+            # The median became known this round (computed at the root or
+            # received from the parent): broadcast it downward exactly once.
+            self._broadcast_median_if_known(ctx)
+        self._refresh_done()
 
 
 def _pick_median(entries: List[Entry]) -> float:
@@ -170,21 +182,19 @@ def _pick_median(entries: List[Entry]) -> float:
     return best_value
 
 
-def run_amf_protocol(
+def install_amf(
+    simulator: Simulator,
+    skiplist: BalancedSkipList,
     values: Mapping[Key, float],
     a: int = 4,
-    seed: Optional[int] = None,
-) -> AMFProtocolResult:
-    """Run the message-level AMF over ``values`` (list order = iteration order)."""
-    items = list(values.keys())
-    if len(items) < 2:
-        raise ValueError("the protocol needs at least two values")
-    if a < 2:
-        raise ValueError("the balance parameter a must be at least 2")
+) -> Dict[Key, _AMFProcess]:
+    """Register AMF processes over ``skiplist``'s segment tree.
 
-    from repro.simulation.rng import make_rng
-
-    skiplist = BalancedSkipList(items, a=a, rng=make_rng(seed))
+    The simulator's network must contain the segment links
+    (:func:`repro.distributed.sum_protocol.segment_network`); on a reused
+    engine, retire the previous generation first.
+    """
+    items = list(skiplist.levels[0])
     h = skiplist.height - 1
     sample_size = max(2, a * max(h, 1))
     base = max(a / 2, 1.5)
@@ -200,18 +210,7 @@ def run_amf_protocol(
         if parent is not None:
             children[parent].append(child)
 
-    network = Network()
-    for item in items:
-        network.add_node(item)
-    for child, parent in parents.items():
-        if parent is not None:
-            network.add_link(child, parent, label="segment")
-
-    simulator = Simulator(
-        network,
-        SimulatorConfig(seed=seed, max_rounds=50 * skiplist.height + 20 * len(items) + 100),
-    )
-    processes = {}
+    processes: Dict[Key, _AMFProcess] = {}
     for item in items:
         # A node samples when it aggregates at or above the sampling level.
         aggregates_at = depth.get(item, 0) + 1
@@ -225,6 +224,31 @@ def run_amf_protocol(
         )
         processes[item] = process
         simulator.add_process(process)
+    return processes
+
+
+def run_amf_protocol(
+    values: Mapping[Key, float],
+    a: int = 4,
+    seed: Optional[int] = None,
+) -> AMFProtocolResult:
+    """Run the message-level AMF over ``values`` (list order = iteration order)."""
+    items = list(values.keys())
+    if len(items) < 2:
+        raise ValueError("the protocol needs at least two values")
+    if a < 2:
+        raise ValueError("the balance parameter a must be at least 2")
+
+    from repro.distributed.sum_protocol import segment_network
+    from repro.simulation.rng import make_rng
+
+    skiplist = BalancedSkipList(items, a=a, rng=make_rng(seed))
+    network = segment_network(skiplist)
+    simulator = Simulator(
+        network,
+        SimulatorConfig(seed=seed, max_rounds=50 * skiplist.height + 20 * len(items) + 100),
+    )
+    processes = install_amf(simulator, skiplist, values, a=a)
     metrics = simulator.run()
 
     median = processes[skiplist.root].median
@@ -235,4 +259,6 @@ def run_amf_protocol(
         max_message_bits=metrics.max_message_bits,
         congestion_violations=metrics.congestion_violations,
         n=len(items),
+        dropped_messages=metrics.dropped_messages,
+        total_bits=metrics.total_bits,
     )

@@ -8,16 +8,22 @@ One hop per round; the message carries the initiator and a constant number
 of words per level of payload (the structural engine accounts for the
 ``O(H_t)``-word payload by charging extra rounds, since CONGEST only allows
 ``O(log n)`` bits per round).
+
+:func:`install_broadcast` registers the processes on an existing simulator
+(the churn arena runs broadcasts over a network whose list links are being
+rewired underneath it — a wavefront that reaches a departed neighbour is a
+recorded drop, and the coverage count reports how far it got);
+:func:`run_list_broadcast` is the one-shot fresh-simulator measurement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
 
-__all__ = ["BroadcastResult", "run_list_broadcast"]
+__all__ = ["BroadcastResult", "install_broadcast", "run_list_broadcast"]
 
 Key = Hashable
 
@@ -32,6 +38,8 @@ class BroadcastResult:
     messages: int
     max_message_bits: int
     congestion_violations: int
+    dropped_messages: int = 0
+    total_bits: int = 0
 
     @property
     def coverage(self) -> int:
@@ -72,6 +80,27 @@ class _BroadcastProcess(NodeProcess):
         self.done = True
 
 
+def install_broadcast(
+    simulator: Simulator, members: Sequence[Key], initiator: Key
+) -> Dict[Key, _BroadcastProcess]:
+    """Register broadcast processes for the (ordered) list ``members``.
+
+    The simulator's network must contain the consecutive list links.  On a
+    reused engine, retire the previous generation first.
+    """
+    members = list(members)
+    if initiator not in members:
+        raise ValueError("the initiator must be a member of the list")
+    processes: Dict[Key, _BroadcastProcess] = {}
+    for index, key in enumerate(members):
+        left = members[index - 1] if index > 0 else None
+        right = members[index + 1] if index + 1 < len(members) else None
+        process = _BroadcastProcess(key, left, right, is_initiator=(key == initiator))
+        processes[key] = process
+        simulator.add_process(process)
+    return processes
+
+
 def run_list_broadcast(members: Sequence[Key], initiator: Key, seed: Optional[int] = None) -> BroadcastResult:
     """Broadcast from ``initiator`` to every member of the (ordered) list."""
     members = list(members)
@@ -84,13 +113,7 @@ def run_list_broadcast(members: Sequence[Key], initiator: Key, seed: Optional[in
         network.add_link(left, right, label="list")
 
     simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=4 * len(members) + 10))
-    processes = {}
-    for index, key in enumerate(members):
-        left = members[index - 1] if index > 0 else None
-        right = members[index + 1] if index + 1 < len(members) else None
-        process = _BroadcastProcess(key, left, right, is_initiator=(key == initiator))
-        processes[key] = process
-        simulator.add_process(process)
+    processes = install_broadcast(simulator, members, initiator)
     metrics = simulator.run()
     reached = [key for key, process in processes.items() if process.received]
     return BroadcastResult(
@@ -100,4 +123,6 @@ def run_list_broadcast(members: Sequence[Key], initiator: Key, seed: Optional[in
         messages=metrics.total_messages,
         max_message_bits=metrics.max_message_bits,
         congestion_violations=metrics.congestion_violations,
+        dropped_messages=metrics.dropped_messages,
+        total_bits=metrics.total_bits,
     )

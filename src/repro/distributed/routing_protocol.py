@@ -2,22 +2,46 @@
 
 Every node process knows only its own key, its membership vector and its
 left/right neighbours at each level (``O(log n)`` words of local state, as
-the model requires).  The source starts at its top level and forwards a
-``route`` message greedily towards the destination, one hop per round; each
-hop carries only the destination key and the current level — a constant
-number of words.
+the model requires).  A source forwards a ``route`` message greedily towards
+the destination, one hop per round; each hop carries only the destination
+key and the current level — a constant number of words.
+
+The router is *multi-request capable*: a process can be handed several
+destinations (initiated one per round) and forwards any ``route`` message it
+receives, reading the destination from the payload.  Outgoing messages are
+flow-controlled per link — at most one send per neighbour per round, the
+rest queued FIFO locally — so concurrent routes through a shared hop stay
+CONGEST-conformant by construction instead of relying on luck.
+
+Two entry points:
+
+* :func:`run_routing_protocol` — the classic one-shot measurement: fresh
+  network, fresh simulator, one (source, destination) pair, path
+  reconstruction.
+* :func:`install_routing` — register router processes on an *existing*
+  simulator (reusing its network and metrics), which is how the churn
+  arena restarts routing generations across membership changes and how
+  :func:`~repro.workloads.scenarios.replay_scenario` joiners get processes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 
-__all__ = ["RoutingProtocolResult", "run_routing_protocol"]
+__all__ = [
+    "RoutingProtocolResult",
+    "install_routing",
+    "make_router",
+    "run_routing_protocol",
+    "skip_graph_network",
+    "trace_route",
+]
 
 
 @dataclass
@@ -31,6 +55,8 @@ class RoutingProtocolResult:
     messages: int
     max_message_bits: int
     congestion_violations: int
+    dropped_messages: int = 0
+    total_bits: int = 0
 
     @property
     def distance(self) -> int:
@@ -68,51 +94,84 @@ class _NeighborTable:
 
 
 class _RouterProcess(NodeProcess):
-    """Forwards ``route`` messages one greedy hop per round."""
+    """Forwards ``route`` messages one greedy hop per round.
 
-    def __init__(self, key: Key, table: _NeighborTable, destination: Key, is_source: bool) -> None:
+    Passive (``done``) unless it has requests left to initiate or queued
+    outgoing messages; woken by message delivery otherwise.
+    """
+
+    def __init__(self, key: Key, table: _NeighborTable, requests: Sequence[Key] = ()) -> None:
         super().__init__(key)
         self.table = table
-        self.destination = destination
-        self.is_source = is_source
-        self.done = not is_source
+        self.requests: Deque[Key] = deque(requests)
+        #: Per-link flow control: (receiver, payload) pairs awaiting a free round.
+        self.outgoing: Deque[Tuple[Key, dict]] = deque()
+        #: Routes that terminated at this node (it was their destination).
+        self.completed = 0
+        #: Last forwarding decision per destination (for path reconstruction
+        #: under concurrent routes; ``result`` only keeps the latest one).
+        self.forwards: Dict[Key, Tuple[Key, int]] = {}
+        self.done = not self.requests
 
     def memory_words(self) -> int:
-        return 2 * len(self.table.levels) + 3
+        return 2 * len(self.table.levels) + 3 + len(self.requests) + 2 * len(self.outgoing)
 
     def on_start(self, ctx: RoundContext) -> None:
-        if not self.is_source:
-            return
-        if self.node_id == self.destination:
-            self.result = [self.node_id]
-            self.done = True
-            return
-        self._forward(ctx, level=self.table.top_level)
-        self.done = True
+        self._act(ctx)
 
     def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
         for message in inbox:
             if message.kind != "route":
                 continue
-            level = message.payload["level"]
-            if self.node_id == self.destination:
+            destination = message.payload["destination"]
+            if self.node_id == destination:
+                self.completed += 1
                 self.result = "reached"
-                self.done = True
-                continue
-            self._forward(ctx, level=level)
-            self.done = True
+            else:
+                self._forward(destination, message.payload["level"])
+        self._act(ctx)
 
-    def _forward(self, ctx: RoundContext, level: int) -> None:
-        next_hop, used_level = self.table.next_hop(self.destination, level)
+    # One initiation per round plus at most one send per neighbour link.
+    def _act(self, ctx: RoundContext) -> None:
+        if self.requests:
+            destination = self.requests.popleft()
+            if destination == self.node_id:
+                self.completed += 1
+                self.result = [self.node_id]
+            else:
+                self._forward(destination, self.table.top_level)
+        self._flush(ctx)
+        self.done = not (self.requests or self.outgoing)
+
+    def _forward(self, destination: Key, level: int) -> None:
+        next_hop, used_level = self.table.next_hop(destination, level)
         if next_hop is None:
             self.result = "stuck"
             return
-        ctx.send(next_hop, "route", {"destination": self.destination, "level": used_level})
+        self.outgoing.append((next_hop, {"destination": destination, "level": used_level}))
+        self.forwards[destination] = (next_hop, used_level)
         self.result = ("forwarded", next_hop, used_level)
 
+    def _flush(self, ctx: RoundContext) -> None:
+        used = set()
+        keep: Deque[Tuple[Key, dict]] = deque()
+        while self.outgoing:
+            receiver, payload = self.outgoing.popleft()
+            if receiver in used:
+                keep.append((receiver, payload))
+                continue
+            used.add(receiver)
+            ctx.send(receiver, "route", payload)
+        self.outgoing = keep
 
-def _skip_graph_network(graph: SkipGraph) -> Network:
-    """Network with one link per pair of level-adjacent skip graph nodes."""
+
+def skip_graph_network(graph: SkipGraph) -> Network:
+    """Network with one link per pair of level-adjacent skip graph nodes.
+
+    Every level at which a pair is adjacent is recorded as a label on the
+    (single physical) link, so churn rewiring can retract adjacency one
+    level at a time (:func:`repro.workloads.scenarios.replay_scenario`).
+    """
     network = Network()
     for key in graph.keys:
         network.add_node(key)
@@ -121,44 +180,80 @@ def _skip_graph_network(graph: SkipGraph) -> Network:
         for level in range(0, top + 1):
             left, right = graph.neighbors(key, level)
             for neighbor in (left, right):
-                if neighbor is not None and not network.has_link(key, neighbor):
+                if neighbor is not None:
                     network.add_link(key, neighbor, label=f"level{level}")
     return network
+
+
+def install_routing(
+    simulator: Simulator,
+    graph: SkipGraph,
+    requests: Mapping[Key, Sequence[Key]] | None = None,
+) -> Dict[Key, _RouterProcess]:
+    """Register a router process per skip graph node on ``simulator``.
+
+    ``requests`` maps source keys to the destinations they initiate (one
+    per round, in order).  The simulator's network must already contain the
+    skip-graph links (:func:`skip_graph_network`); on a reused engine,
+    retire the previous generation first (``simulator.retire_all()``).
+    """
+    requests = requests or {}
+    processes: Dict[Key, _RouterProcess] = {}
+    for key in graph.keys:
+        process = _RouterProcess(key, _NeighborTable(graph, key), requests.get(key, ()))
+        processes[key] = process
+        simulator.add_process(process)
+    return processes
+
+
+def make_router(graph: SkipGraph, key: Key, requests: Sequence[Key] = ()) -> _RouterProcess:
+    """A router process for ``key`` with a fresh table snapshot of ``graph``.
+
+    The process factory churn arenas hand to
+    :func:`~repro.workloads.scenarios.replay_scenario` so joining nodes can
+    route as soon as their initialization round has run.
+    """
+    return _RouterProcess(key, _NeighborTable(graph, key), requests)
+
+
+def trace_route(processes: Mapping[Key, _RouterProcess], source: Key, destination: Key) -> List[Key]:
+    """Reconstruct a route's path from per-node forwarding decisions.
+
+    Each router records its last forwarding decision *per destination*, so
+    the trace stays correct when several routes (to distinct destinations)
+    crossed the same node.  Two concurrent routes to the *same* destination
+    share the record — the trace then follows the later decision.
+    """
+    path = [source]
+    current = source
+    visited = {source}
+    while current != destination:
+        forward = processes[current].forwards.get(destination)
+        if forward is None:
+            break
+        current = forward[0]
+        if current in visited:  # pragma: no cover - defensive against cycles
+            break
+        visited.add(current)
+        path.append(current)
+    return path
 
 
 def run_routing_protocol(graph: SkipGraph, source: Key, destination: Key,
                          seed: Optional[int] = None) -> RoutingProtocolResult:
     """Execute the routing protocol and return its measured costs."""
-    network = _skip_graph_network(graph)
+    network = skip_graph_network(graph)
     simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=10 * len(graph) + 20))
-    processes = {}
-    for key in graph.keys:
-        table = _NeighborTable(graph, key)
-        process = _RouterProcess(key, table, destination, is_source=(key == source))
-        processes[key] = process
-        simulator.add_process(process)
+    processes = install_routing(simulator, graph, {source: [destination]})
     metrics = simulator.run()
-
-    # Reconstruct the path from the per-node forwarding decisions.
-    path = [source]
-    current = source
-    visited = {source}
-    while current != destination:
-        result = processes[current].result
-        if not (isinstance(result, tuple) and result[0] == "forwarded"):
-            break
-        current = result[1]
-        if current in visited:  # pragma: no cover - defensive against cycles
-            break
-        visited.add(current)
-        path.append(current)
-
     return RoutingProtocolResult(
         source=source,
         destination=destination,
-        path=path,
+        path=trace_route(processes, source, destination),
         rounds=metrics.rounds,
         messages=metrics.total_messages,
         max_message_bits=metrics.max_message_bits,
         congestion_violations=metrics.congestion_violations,
+        dropped_messages=metrics.dropped_messages,
+        total_bits=metrics.total_bits,
     )

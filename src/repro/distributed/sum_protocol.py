@@ -7,6 +7,12 @@ the root broadcasts the total back down.  The protocol runs over the
 node's parent is the promoted node owning its segment at the lowest level
 where the node itself stops being promoted.  Each message carries one
 partial sum (one word).
+
+The processes are fully message-driven: a node is passive (``done``) from
+the start and acts only when partials or the total arrive, so the engine's
+active set stays proportional to the messages in flight rather than the
+population — the convergecast over 4096 leaves costs O(n) process
+invocations total, not O(n * rounds).
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import Dict, Hashable, List, Mapping, Optional
 from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.skiplist.balanced import BalancedSkipList
 
-__all__ = ["SumProtocolResult", "run_sum_protocol", "segment_tree"]
+__all__ = ["SumProtocolResult", "install_sum", "run_sum_protocol", "segment_tree"]
 
 Key = Hashable
 
@@ -32,6 +38,8 @@ class SumProtocolResult:
     max_message_bits: int
     congestion_violations: int
     received_by_all: bool
+    dropped_messages: int = 0
+    total_bits: int = 0
 
 
 def segment_tree(skiplist: BalancedSkipList) -> Dict[Key, Optional[Key]]:
@@ -62,7 +70,8 @@ class _SumProcess(NodeProcess):
         self.accumulated = float(value)
         self.total: Optional[float] = None
         self.sent_up = False
-        self.done = False
+        # Message-driven: passive throughout, woken by partials / the total.
+        self.done = True
 
     def memory_words(self) -> int:
         return 5 + len(self.children)
@@ -75,7 +84,7 @@ class _SumProcess(NodeProcess):
             self.result = self.total
             for child in self.children:
                 ctx.send(child, "total", self.total)
-            self.done = True
+            self.sent_up = True
         else:
             ctx.send(self.parent, "partial", self.accumulated)
             self.sent_up = True
@@ -93,13 +102,46 @@ class _SumProcess(NodeProcess):
                 self.result = self.total
                 for child in self.children:
                     ctx.send(child, "total", self.total)
-                self.done = True
         self._maybe_send_up(ctx)
-        if self.sent_up and self.total is None:
-            # Waiting for the broadcast of the total.
-            self.done = False
-        if self.total is not None:
-            self.done = True
+
+
+def install_sum(
+    simulator: Simulator,
+    skiplist: BalancedSkipList,
+    values: Mapping[Key, float],
+) -> Dict[Key, _SumProcess]:
+    """Register sum processes over ``skiplist``'s segment tree.
+
+    The simulator's network must contain one link per (child, parent) pair
+    of :func:`segment_tree` (label ``"segment"``); on a reused engine,
+    retire the previous generation first.
+    """
+    base = skiplist.levels[0]
+    missing = [item for item in base if item not in values]
+    if missing:
+        raise ValueError(f"missing values for items: {missing[:5]!r}")
+    parents = segment_tree(skiplist)
+    children: Dict[Key, List[Key]] = {item: [] for item in base}
+    for child, parent in parents.items():
+        if parent is not None:
+            children[parent].append(child)
+    processes: Dict[Key, _SumProcess] = {}
+    for item in base:
+        process = _SumProcess(item, values[item], parents[item], children[item])
+        processes[item] = process
+        simulator.add_process(process)
+    return processes
+
+
+def segment_network(skiplist: BalancedSkipList) -> Network:
+    """Network with one link per (child, parent) pair of the segment tree."""
+    network = Network()
+    for item in skiplist.levels[0]:
+        network.add_node(item)
+    for child, parent in segment_tree(skiplist).items():
+        if parent is not None:
+            network.add_link(child, parent, label="segment")
+    return network
 
 
 def run_sum_protocol(
@@ -108,30 +150,11 @@ def run_sum_protocol(
     seed: Optional[int] = None,
 ) -> SumProtocolResult:
     """Aggregate ``values`` over the skip list's segment tree."""
-    base = skiplist.levels[0]
-    missing = [item for item in base if item not in values]
-    if missing:
-        raise ValueError(f"missing values for items: {missing[:5]!r}")
-
-    parents = segment_tree(skiplist)
-    children: Dict[Key, List[Key]] = {item: [] for item in base}
-    for child, parent in parents.items():
-        if parent is not None:
-            children[parent].append(child)
-
-    network = Network()
-    for item in base:
-        network.add_node(item)
-    for child, parent in parents.items():
-        if parent is not None:
-            network.add_link(child, parent, label="segment")
-
-    simulator = Simulator(network, SimulatorConfig(seed=seed, max_rounds=20 * skiplist.height + 10 * len(base)))
-    processes = {}
-    for item in base:
-        process = _SumProcess(item, values[item], parents[item], children[item])
-        processes[item] = process
-        simulator.add_process(process)
+    network = segment_network(skiplist)
+    simulator = Simulator(
+        network, SimulatorConfig(seed=seed, max_rounds=20 * skiplist.height + 10 * len(skiplist.levels[0]))
+    )
+    processes = install_sum(simulator, skiplist, values)
     metrics = simulator.run()
 
     root_total = processes[skiplist.root].total
@@ -143,4 +166,6 @@ def run_sum_protocol(
         max_message_bits=metrics.max_message_bits,
         congestion_violations=metrics.congestion_violations,
         received_by_all=received_by_all,
+        dropped_messages=metrics.dropped_messages,
+        total_bits=metrics.total_bits,
     )

@@ -12,7 +12,6 @@ AMF) on growing instances and records:
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 from repro.analysis.tables import Table
@@ -24,7 +23,7 @@ from repro.distributed import (
     run_sum_protocol,
 )
 from repro.experiments.base import ExperimentResult
-from repro.simulation.message import WORD_BITS
+from repro.simulation.message import congest_budget_bits
 from repro.simulation.rng import make_rng
 from repro.skipgraph import build_balanced_skip_graph
 from repro.skiplist import BalancedSkipList
@@ -32,12 +31,7 @@ from repro.workloads import generate_workload
 
 __all__ = ["run"]
 
-#: Words allowed per message by the budget ``c * log2(n)`` with c = 8 words.
-BUDGET_WORDS = 8
-
-
-def _budget_bits(n: int) -> int:
-    return BUDGET_WORDS * WORD_BITS * max(1, math.ceil(math.log2(max(n, 2))))
+_budget_bits = congest_budget_bits
 
 
 def run(sizes: Sequence[int] = (32, 64, 128), a: int = 4, seed: Optional[int] = 7) -> ExperimentResult:
@@ -47,33 +41,45 @@ def run(sizes: Sequence[int] = (32, 64, 128), a: int = 4, seed: Optional[int] = 
         parameters={"sizes": tuple(sizes), "a": a, "seed": seed},
     )
     table = Table(
-        title="Message sizes and congestion per protocol",
-        columns=["protocol", "n", "max message bits", "budget bits", "congestion violations"],
+        title="Message sizes, congestion and drops per protocol",
+        columns=["protocol", "n", "max message bits", "budget bits", "congestion violations", "drops"],
     )
     all_ok = True
+    no_drops = True
     for n in sizes:
         budget = _budget_bits(n)
         graph = build_balanced_skip_graph(range(1, n + 1))
         routing = run_routing_protocol(graph, 1, n, seed=seed)
-        table.add_row("routing", n, routing.max_message_bits, budget, routing.congestion_violations)
+        table.add_row("routing", n, routing.max_message_bits, budget,
+                      routing.congestion_violations, routing.dropped_messages)
         all_ok &= routing.max_message_bits <= budget and routing.congestion_violations == 0
+        no_drops &= routing.dropped_messages == 0
 
         broadcast = run_list_broadcast(list(range(1, n + 1)), initiator=1, seed=seed)
-        table.add_row("broadcast", n, broadcast.max_message_bits, budget, broadcast.congestion_violations)
+        table.add_row("broadcast", n, broadcast.max_message_bits, budget,
+                      broadcast.congestion_violations, broadcast.dropped_messages)
         all_ok &= broadcast.max_message_bits <= budget and broadcast.congestion_violations == 0
+        no_drops &= broadcast.dropped_messages == 0
 
         skiplist = BalancedSkipList(list(range(1, n + 1)), a=a, rng=make_rng(seed))
         sum_result = run_sum_protocol(skiplist, {i: 1.0 for i in range(1, n + 1)}, seed=seed)
-        table.add_row("distributed sum", n, sum_result.max_message_bits, budget, sum_result.congestion_violations)
+        table.add_row("distributed sum", n, sum_result.max_message_bits, budget,
+                      sum_result.congestion_violations, sum_result.dropped_messages)
         all_ok &= sum_result.max_message_bits <= budget and sum_result.congestion_violations == 0
+        no_drops &= sum_result.dropped_messages == 0
 
         rng = make_rng(seed)
         values = {i: float(rng.random()) for i in range(1, n + 1)}
         amf = run_amf_protocol(values, a=a, seed=seed)
-        table.add_row("AMF", n, amf.max_message_bits, budget, amf.congestion_violations)
+        table.add_row("AMF", n, amf.max_message_bits, budget,
+                      amf.congestion_violations, amf.dropped_messages)
         all_ok &= amf.max_message_bits <= budget and amf.congestion_violations == 0
+        no_drops &= amf.dropped_messages == 0
     result.tables.append(table)
     result.checks["all_messages_within_congest_budget"] = all_ok
+    # Drops are counted separately from violations; on these churn-free
+    # instances every message must arrive.
+    result.checks["no_message_drops_without_churn"] = no_drops
 
     # DSG per-node memory audit.
     memory = Table(

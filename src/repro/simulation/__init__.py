@@ -5,9 +5,14 @@ synchronous computation model in which communication occurs in rounds, and a
 node can send and receive at most one message per link per round, with each
 message limited to ``O(log n)`` bits (the CONGEST model).  This subpackage
 provides that substrate: a round-based, message-passing discrete simulator
-with explicit accounting of rounds, message sizes (in bits) and per-link
-congestion, so that the distributed protocols in :mod:`repro.distributed` can
-be executed and checked against the model's constraints.
+with explicit accounting of rounds, message sizes (in bits), per-link
+congestion and churn-induced message drops (a separate counter, so
+conformance checks survive churn), so that the distributed protocols in
+:mod:`repro.distributed` can be executed and checked against the model's
+constraints.  The engine is churn-first: processes join (``on_start`` at
+their first round) and retire mid-run, scheduled callbacks rewire the
+network between rounds, and the per-round cost follows the *active set*
+(not-done processes plus delivery receivers) rather than the population.
 
 Public classes
 --------------

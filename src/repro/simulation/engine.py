@@ -2,44 +2,75 @@
 
 The engine repeatedly executes *rounds*.  In each round:
 
-1. messages enqueued during the previous round are delivered to their
+1. scheduled callbacks for the round run (churn injection: network
+   mutation, process joins/retirements);
+2. messages enqueued during the previous round are delivered to their
    receivers' inboxes (a message sent in round ``r`` is received in round
    ``r + 1``, as in the standard synchronous model);
-2. every process is invoked with its inbox and may enqueue new messages;
-3. the CONGEST constraint is checked: at most one message per directed link
+3. every *active* process is invoked with its inbox and may enqueue new
+   messages;
+4. the CONGEST constraint is checked: at most one message per directed link
    per round.  In strict mode a violation raises
    :class:`~repro.simulation.errors.CongestionError`; in lenient mode the
-   excess messages are deferred to the next round and the violation is
+   excess messages are deferred FIFO to the next round and the violation is
    recorded in the metrics (useful for measuring how far a protocol is from
    conformance).
 
-Messages may only travel over links present in the :class:`Network` at send
-time; sending to a non-neighbour raises :class:`LinkError` (strict mode) or
-drops the message with a recorded violation (lenient mode).
+Messages may only travel over links present in the :class:`Network` at
+*send time*: sending to a non-neighbour raises :class:`LinkError` (strict
+links) or drops the message with a recorded drop (lenient links).  A link
+that disappears while a message is in flight — churn removed it between
+send and delivery — is never an error: the send was legal, so the message
+is dropped and counted in ``dropped_messages`` in both modes.  Drops are
+accounted separately from CONGEST violations so that conformance checks
+(E11's "violations must be zero") stay meaningful under churn.
+
+Hot path: the engine maintains an *active set* — processes that are not
+``done`` plus the receivers of this round's deliveries — instead of
+scanning every registered process each round.  A quiescent 4096-node
+population costs nothing while a single token walks across it.
+
+Process lifecycle (churn):
+
+* **join** — :meth:`Simulator.add_process` after the run has started queues
+  the process for :meth:`~NodeProcess.on_start` at the beginning of the
+  next executed round (its initialization round), so joiners injected by
+  :meth:`Simulator.schedule` callbacks are started exactly like the initial
+  population.
+* **retire** — :meth:`Simulator.retire` removes a process from the live
+  set (its ``result`` stays readable through :meth:`results`).  Removing a
+  node from the network retires its process automatically at the next
+  round boundary, so runs quiesce under departures instead of waiting
+  forever on a process that can no longer act.
 
 Churn and other externally driven events are injected with
 :meth:`Simulator.schedule`: a callback registered for round ``r`` runs at
 the very start of that round, before deliveries, and may mutate the network
 (add/remove nodes and links) and register new processes.  This is the
 engine-level counterpart of the workload-level scenario schedules in
-:mod:`repro.workloads.scenarios` (which drive the DSG front end directly):
-use it to replay a :class:`~repro.workloads.scenarios.Scenario`'s join/
-leave events against a protocol simulation.
+:mod:`repro.workloads.scenarios`: :func:`~repro.workloads.scenarios.replay_scenario`
+translates a :class:`~repro.workloads.scenarios.Scenario`'s join/leave
+events into these callbacks plus skip-graph link rewiring.
 
-The engine stops when every process reports ``done``, no messages are in
-flight and no scheduled events remain, or when ``max_rounds`` is exceeded
-(which raises ``SimulationError`` unless ``allow_timeout`` is set).
+The engine stops when every live process reports ``done``, no messages are
+in flight and no scheduled events or pending starts remain, or when the
+round budget is exceeded (which raises ``SimulationError`` unless
+``allow_timeout`` is set).  :meth:`Simulator.run` may be called again after
+quiescence — installing fresh processes (after retiring the previous ones)
+replays another protocol on the same engine and network, which is how the
+churn arenas rerun protocols across membership changes.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Optional
+from itertools import chain
+from typing import Callable, Deque, Dict, Hashable, Iterable, List, Optional
 
 from repro.simulation.errors import CongestionError, LinkError, MessageSizeError, SimulationError
 from repro.simulation.message import Message
-from repro.simulation.metrics import MetricsCollector
+from repro.simulation.metrics import MetricsCollector, RoundStats
 from repro.simulation.network import Network
 from repro.simulation.node_process import NodeProcess, RoundContext
 from repro.simulation.rng import make_rng, spawn_rng
@@ -54,21 +85,25 @@ class SimulatorConfig:
     Attributes
     ----------
     max_rounds:
-        Hard cap on the number of rounds (safety net against livelock).
+        Round budget per :meth:`Simulator.run` call (safety net against
+        livelock).  On a reused engine the budget applies to each call, not
+        to the engine's absolute round counter.
     strict_congest:
         If ``True`` a CONGEST violation raises; otherwise excess messages are
-        deferred and counted.
+        deferred FIFO and counted.
     strict_links:
-        If ``True`` sending over a missing link raises; otherwise the message
-        is dropped and counted as a violation.
+        If ``True`` sending over a missing link raises at send time;
+        otherwise the message is dropped and counted as a drop.  Links
+        removed *after* a legal send drop the in-flight message in both
+        modes (recorded, never raised).
     max_message_bits:
         Optional cap on message size; ``None`` disables the check (sizes are
         still recorded so experiments can audit them afterwards).
     seed:
         Seed for the per-node RNGs.
     allow_timeout:
-        If ``True`` reaching ``max_rounds`` ends the run quietly instead of
-        raising.
+        If ``True`` exhausting the round budget ends the run quietly instead
+        of raising.
     """
 
     max_rounds: int = 100_000
@@ -87,28 +122,76 @@ class Simulator:
         self.config = config or SimulatorConfig()
         self.metrics = MetricsCollector()
         self._processes: Dict[Hashable, NodeProcess] = {}
+        self._retired: Dict[Hashable, NodeProcess] = {}
         self._rngs: Dict[Hashable, "random.Random"] = {}
         self._pending: List[Message] = []  # sent this round, delivered next round
-        self._deferred: List[Message] = []  # congestion overflow (lenient mode)
+        self._deferred: Deque[Message] = deque()  # congestion overflow (lenient mode)
         self._scheduled: Dict[int, List[Callable[["Simulator"], None]]] = defaultdict(list)
         self._root_rng = make_rng(self.config.seed)
         self._round = 0
         self._started = False
+        # Ordered set of processes that are not done (the self-driven half of
+        # the active set; the other half is this round's delivery receivers).
+        self._not_done: Dict[Hashable, None] = {}
+        # Processes added after the run started, awaiting their on_start.
+        self._pending_start: List[Hashable] = []
+        # Stats of the upcoming round, pre-created when a start phase needs
+        # to attribute drops before the round executes (step() reuses it).
+        self._current_stats: Optional[RoundStats] = None
 
     # ----------------------------------------------------------------- setup
     def add_process(self, process: NodeProcess) -> None:
-        """Register ``process`` for its node; the node must exist in the network."""
+        """Register ``process`` for its node; the node must exist in the network.
+
+        Before the run starts the process joins the initial population and
+        receives :meth:`~NodeProcess.on_start` with everyone else.  After
+        the run has started (a churn join, typically from a
+        :meth:`schedule` callback) the process is queued and receives
+        ``on_start`` at the beginning of the next executed round — its
+        initialization round — with sends delivered the round after.
+        """
         node = process.node_id
         if not self.network.has_node(node):
             raise LinkError(f"node {node!r} is not part of the network")
         if node in self._processes:
             raise SimulationError(f"node {node!r} already has a process")
+        self._retired.pop(node, None)
         self._processes[node] = process
         self._rngs[node] = spawn_rng(self._root_rng, label=repr(node))
+        if not process.done:
+            self._not_done[node] = None
+        if self._started:
+            self._pending_start.append(node)
 
     def add_processes(self, processes: Iterable[NodeProcess]) -> None:
         for process in processes:
             self.add_process(process)
+
+    def retire(self, node: Hashable) -> NodeProcess:
+        """Remove the process of ``node`` from the live population.
+
+        The departed process no longer counts towards quiescence and is no
+        longer invoked; messages still in flight towards its node are
+        dropped (and recorded) when their links disappear or when delivery
+        finds no process.  Its ``result`` remains visible in
+        :meth:`results`.  The node may re-join later with a fresh process.
+        """
+        process = self._processes.pop(node, None)
+        if process is None:
+            raise SimulationError(f"node {node!r} has no live process to retire")
+        self._not_done.pop(node, None)
+        self._rngs.pop(node, None)
+        if node in self._pending_start:
+            # Retired before its initialization round: a later re-join must
+            # not inherit the stale queue entry (it would start twice).
+            self._pending_start = [queued for queued in self._pending_start if queued != node]
+        self._retired[node] = process
+        return process
+
+    def retire_all(self) -> None:
+        """Retire every live process (protocol teardown on a reused engine)."""
+        for node in list(self._processes):
+            self.retire(node)
 
     def process(self, node: Hashable) -> NodeProcess:
         return self._processes[node]
@@ -118,9 +201,11 @@ class Simulator:
 
         The callback receives the simulator and runs before that round's
         deliveries are planned, so it may inject churn: mutate the network,
-        add processes (:meth:`add_process`) for joining nodes, or mark
-        processes of departing nodes.  Rounds with pending events count as
-        activity — the run does not quiesce while scheduled events remain.
+        add processes (:meth:`add_process`) for joining nodes, or
+        :meth:`retire` processes of departing nodes (removing the node from
+        the network retires its process automatically).  Rounds with pending
+        events count as activity — the run does not quiesce while scheduled
+        events remain.
         """
         if round_index < self._round:
             raise SimulationError(
@@ -134,21 +219,37 @@ class Simulator:
         return dict(self._processes)
 
     @property
+    def retired(self) -> Dict[Hashable, NodeProcess]:
+        """Processes retired by churn (or explicitly), keyed by node."""
+        return dict(self._retired)
+
+    @property
     def round(self) -> int:
         return self._round
 
     # ------------------------------------------------------------------- run
     def run(self, max_rounds: Optional[int] = None) -> MetricsCollector:
-        """Run until quiescence (all processes done, no messages in flight)."""
-        limit = max_rounds if max_rounds is not None else self.config.max_rounds
+        """Run until quiescence (all processes done, no messages in flight).
+
+        ``max_rounds`` (default: the config's) is a budget for *this call*,
+        so a reused engine gets a fresh budget for every protocol replay.
+        """
+        budget = max_rounds if max_rounds is not None else self.config.max_rounds
+        limit = self._round + budget
         if not self._started:
             self._start_processes()
+        elif self._pending_start and not self._pending and not self._deferred:
+            # A fresh protocol generation installed on a quiesced engine:
+            # start it exactly like an initial population (on_start outside
+            # the rounds, sends delivered in the next executed round), so a
+            # rerun reproduces a fresh simulator round for round.
+            self._start_pending_processes()
         while not self._quiescent():
             if self._round >= limit:
                 if self.config.allow_timeout:
                     break
                 raise SimulationError(
-                    f"simulation did not terminate within {limit} rounds "
+                    f"simulation did not terminate within {budget} rounds "
                     f"({self._in_flight()} messages in flight)"
                 )
             self.step()
@@ -161,39 +262,52 @@ class Simulator:
         # Drain in a loop so a callback scheduling another event for the
         # *current* round still gets it executed this round.
         pending = self._scheduled.pop(self._round, [])
+        ran_callbacks = bool(pending)
         while pending:
             for callback in pending:
                 callback(self)
             pending = self._scheduled.pop(self._round, [])
-        stats = self.metrics.start_round(self._round)
+        if ran_callbacks:
+            self._sync_after_callbacks()
+        if self._current_stats is not None:
+            stats, self._current_stats = self._current_stats, None
+        else:
+            stats = self.metrics.start_round(self._round)
 
-        deliveries, deferred = self._plan_deliveries(stats)
+        deliveries, self._deferred = self._plan_deliveries(stats)
         self._pending = []
-        self._deferred = deferred
 
         outbox_sink: List[Message] = []
 
-        for node, process in self._processes.items():
-            inbox = deliveries.get(node, [])
+        # Initialization round of churn joiners: on_start now, sends
+        # delivered next round, regular on_round from the round after.
+        # A starter is never invoked twice in its first round — deliveries
+        # addressed to it were already dropped by `_plan_deliveries` (they
+        # were sent before the process existed).
+        started_now = set()
+        if self._pending_start:
+            starters, self._pending_start = self._pending_start, []
+            for node in starters:
+                process = self._processes.get(node)
+                if process is None:  # retired before it ever started
+                    continue
+                process.on_start(self._context(node, outbox_sink))
+                started_now.add(node)
+                self._after_invoke(node, process)
+
+        for node in self._active_nodes(deliveries):
+            if node in started_now:
+                continue
+            process = self._processes.get(node)
+            if process is None:
+                continue
+            inbox = deliveries.get(node)
             if process.done and not inbox:
                 continue
-            ctx = RoundContext(
-                node_id=node,
-                round_index=self._round,
-                neighbors=self.network.neighbors(node) if self.network.has_node(node) else set(),
-                rng=self._rngs[node],
-                send_fn=outbox_sink.append,
-                report_memory_fn=self.metrics.record_memory,
-            )
-            process.on_round(ctx, inbox)
+            process.on_round(self._context(node, outbox_sink), inbox or [])
+            self._after_invoke(node, process)
 
-        for node, process in self._processes.items():
-            words = process.memory_words()
-            if words is not None:
-                self.metrics.record_memory(node, words)
-
-        self._validate_outbox(outbox_sink)
-        self._pending.extend(outbox_sink)
+        self._pending.extend(self._validate_outbox(outbox_sink, stats))
         # A process handler may have scheduled an event for the round that
         # just ran (its callbacks were already drained); carry it over to the
         # next round instead of stranding it, which would block quiescence.
@@ -203,23 +317,81 @@ class Simulator:
             self._scheduled[self._round] = leftovers + self._scheduled.get(self._round, [])
 
     # -------------------------------------------------------------- internals
+    def _context(self, node: Hashable, outbox_sink: List[Message]) -> RoundContext:
+        return RoundContext(
+            node_id=node,
+            round_index=self._round,
+            neighbors=self.network.neighbors(node) if self.network.has_node(node) else set(),
+            rng=self._rngs[node],
+            send_fn=outbox_sink.append,
+            report_memory_fn=self.metrics.record_memory,
+        )
+
+    def _after_invoke(self, node: Hashable, process: NodeProcess) -> None:
+        if process.done:
+            self._not_done.pop(node, None)
+        else:
+            self._not_done[node] = None
+        words = process.memory_words()
+        if words is not None:
+            self.metrics.record_memory(node, words)
+
+    def _active_nodes(self, deliveries: Dict[Hashable, List[Message]]) -> List[Hashable]:
+        """This round's invocation list: delivery receivers, then the rest of
+        the not-done set — both in deterministic (insertion) order."""
+        active = list(deliveries)
+        active.extend(node for node in self._not_done if node not in deliveries)
+        return active
+
+    def _sync_after_callbacks(self) -> None:
+        """Re-establish invariants after churn callbacks mutated the world.
+
+        Retires orphaned processes (their node left the network — e.g. a
+        callback called ``Network.remove_node`` directly), so departures
+        can never block quiescence, and rebuilds the not-done set in case a
+        callback flipped ``done`` flags.  Runs only on rounds that executed
+        callbacks, so the quiescent-path cost stays proportional to the
+        active set.
+        """
+        orphans = []
+        self._not_done = {}
+        for node, process in self._processes.items():
+            if not self.network.has_node(node):
+                orphans.append(node)
+            elif not process.done:
+                self._not_done[node] = None
+        for node in orphans:
+            self.retire(node)
+
     def _start_processes(self) -> None:
         outbox_sink: List[Message] = []
-        for node, process in self._processes.items():
-            ctx = RoundContext(
-                node_id=node,
-                round_index=0,
-                neighbors=self.network.neighbors(node) if self.network.has_node(node) else set(),
-                rng=self._rngs[node],
-                send_fn=outbox_sink.append,
-                report_memory_fn=self.metrics.record_memory,
-            )
-            process.on_start(ctx)
-        self._validate_outbox(outbox_sink)
-        self._pending.extend(outbox_sink)
         self._started = True
+        for node, process in list(self._processes.items()):
+            process.on_start(self._context(node, outbox_sink))
+            self._after_invoke(node, process)
+        self._pending.extend(self._validate_outbox(outbox_sink, None))
 
-    def _validate_outbox(self, outbox: List[Message]) -> None:
+    def _start_pending_processes(self) -> None:
+        """Start queued processes outside a round (rerun on a quiesced engine)."""
+        outbox_sink: List[Message] = []
+        starters, self._pending_start = self._pending_start, []
+        for node in starters:
+            process = self._processes.get(node)
+            if process is None:
+                continue
+            process.on_start(self._context(node, outbox_sink))
+            self._after_invoke(node, process)
+        self._pending.extend(self._validate_outbox(outbox_sink, None))
+
+    def _validate_outbox(self, outbox: List[Message], stats: Optional[RoundStats]) -> List[Message]:
+        """Send-time validation: message size and link existence.
+
+        Links are checked here — when the message is sent — as the model
+        prescribes; a message that passes and loses its link before
+        delivery is a recorded drop, never an error (see
+        :meth:`_plan_deliveries`).  Returns the accepted messages.
+        """
+        accepted: List[Message] = []
         for message in outbox:
             if self.config.max_message_bits is not None and message.size_bits > self.config.max_message_bits:
                 raise MessageSizeError(
@@ -227,29 +399,54 @@ class Simulator:
                     f"{message.receiver!r} has {message.size_bits} bits "
                     f"(limit {self.config.max_message_bits})"
                 )
-
-    def _plan_deliveries(self, stats) -> tuple[Dict[Hashable, List[Message]], List[Message]]:
-        """Decide which queued messages are delivered this round.
-
-        Enforces the CONGEST constraint per directed link.  Returns the
-        delivery map and the list of messages deferred to the next round.
-        """
-        deliveries: Dict[Hashable, List[Message]] = defaultdict(list)
-        deferred: List[Message] = []
-        used_links: Dict[tuple, int] = defaultdict(int)
-
-        queue = self._deferred + self._pending
-        for message in queue:
-            sender, receiver = message.sender, message.receiver
-            if not self.network.has_link(sender, receiver):
+            if not self.network.has_link(message.sender, message.receiver):
                 if self.config.strict_links:
                     raise LinkError(
-                        f"message {message.kind!r}: no link {sender!r} -> {receiver!r}"
+                        f"message {message.kind!r}: no link "
+                        f"{message.sender!r} -> {message.receiver!r}"
                     )
-                self.metrics.record_congestion(stats)
+                if stats is None:
+                    # Start-phase drop: attribute it to the upcoming round so
+                    # MetricsCollector.window() still sees it (the stats
+                    # object is reused by the next step()).
+                    if self._current_stats is None:
+                        self._current_stats = self.metrics.start_round(self._round)
+                    stats = self._current_stats
+                self.metrics.record_drop(stats)
+                continue
+            accepted.append(message)
+        return accepted
+
+    def _plan_deliveries(self, stats: RoundStats) -> "tuple[Dict[Hashable, List[Message]], Deque[Message]]":
+        """Decide which queued messages are delivered this round.
+
+        Enforces the CONGEST constraint per directed link, draining the
+        congestion backlog FIFO (deferred messages go first, in the order
+        they were deferred).  Messages whose link vanished in flight, or
+        whose receiver no longer runs a process, are dropped and recorded —
+        the send was validated when it happened, so churn-induced losses
+        are data, not errors.  Returns the delivery map and the deque of
+        messages deferred to the next round.
+        """
+        deliveries: Dict[Hashable, List[Message]] = {}
+        deferred: Deque[Message] = deque()
+        used_links = set()
+        # Processes queued for their initialization round are not receivers
+        # yet: a message addressed to one was sent before it existed, so it
+        # drops like any other delivery to a process-less node.
+        starting = set(self._pending_start)
+
+        for message in chain(self._deferred, self._pending):
+            sender, receiver = message.sender, message.receiver
+            if (
+                not self.network.has_link(sender, receiver)
+                or receiver not in self._processes
+                or receiver in starting
+            ):
+                self.metrics.record_drop(stats)
                 continue
             key = (sender, receiver)
-            if used_links[key] >= 1:
+            if key in used_links:
                 if self.config.strict_congest:
                     raise CongestionError(
                         f"more than one message on link {sender!r} -> {receiver!r} "
@@ -258,8 +455,8 @@ class Simulator:
                 self.metrics.record_congestion(stats)
                 deferred.append(message)
                 continue
-            used_links[key] += 1
-            deliveries[receiver].append(message)
+            used_links.add(key)
+            deliveries.setdefault(receiver, []).append(message)
             self.metrics.record_message(stats, message.size_bits)
         return deliveries, deferred
 
@@ -267,13 +464,15 @@ class Simulator:
         return len(self._pending) + len(self._deferred)
 
     def _quiescent(self) -> bool:
-        if self._in_flight():
+        if self._pending or self._deferred:
             return False
-        if self._scheduled:
+        if self._scheduled or self._pending_start:
             return False
-        return all(process.done for process in self._processes.values())
+        return not self._not_done
 
     # ------------------------------------------------------------------ query
     def results(self) -> Dict[Hashable, object]:
-        """Per-node ``result`` attributes after the run."""
-        return {node: process.result for node, process in self._processes.items()}
+        """Per-node ``result`` attributes after the run (retired included)."""
+        results = {node: process.result for node, process in self._retired.items()}
+        results.update((node, process.result) for node, process in self._processes.items())
+        return results

@@ -21,16 +21,32 @@ purpose of flagging non-constant payloads.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-__all__ = ["Message", "payload_size_bits"]
+__all__ = ["Message", "congest_budget_bits", "payload_size_bits"]
 
 #: Number of bits charged for a single machine word (one identifier,
 #: timestamp, level number, ...).  32 bits comfortably covers every value the
 #: protocols ship for the network sizes exercised here, and is the constant
 #: against which the ``O(log n)`` checks in E11 are normalised.
 WORD_BITS = 32
+
+#: Words allowed per message by the CONGEST budget ``c * log2(n)``: the
+#: paper's constant ``c``, shared by experiment E11 and the scale benches so
+#: their conformance checks can never disagree.
+BUDGET_WORDS = 8
+
+
+def congest_budget_bits(n: int, words: int = BUDGET_WORDS) -> int:
+    """The ``c * log2(n)`` CONGEST message-size budget in bits.
+
+    ``words`` is the constant ``c`` in machine words (:data:`WORD_BITS`
+    bits each); the default is the budget E11 and the benchmark arenas
+    check protocols against.
+    """
+    return words * WORD_BITS * max(1, math.ceil(math.log2(max(n, 2))))
 
 
 def payload_size_bits(payload: Any, word_bits: int = WORD_BITS) -> int:

@@ -7,7 +7,16 @@ structural DSG engine both rely on the counters gathered here:
 * number of messages delivered, total and per round,
 * maximum message size in bits (to compare against ``c * log2 n``),
 * per-link per-round usage (to detect CONGEST violations),
+* dropped messages (sends over missing links in lenient mode, links removed
+  while a message was in flight, deliveries to departed nodes) — kept
+  *separate* from congestion violations so E11's "violations must be zero"
+  check is not corrupted by churn-induced drops,
 * per-node peak memory estimate in words (as reported by processes).
+
+A single :class:`MetricsCollector` can span several protocol executions on
+a reused engine (churn arenas restart protocols on the same simulator);
+:meth:`MetricsCollector.window` reports the counters of the rounds since a
+checkpoint so each execution gets its own numbers.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ class RoundStats:
     bits: int = 0
     max_message_bits: int = 0
     congestion_violations: int = 0
+    dropped_messages: int = 0
 
 
 @dataclass
@@ -47,6 +57,7 @@ class MetricsCollector:
     total_bits: int = 0
     max_message_bits: int = 0
     congestion_violations: int = 0
+    dropped_messages: int = 0
     per_round: List[RoundStats] = field(default_factory=list)
     peak_memory_words: Dict[Hashable, int] = field(default_factory=dict)
 
@@ -67,6 +78,17 @@ class MetricsCollector:
     def record_congestion(self, stats: RoundStats, count: int = 1) -> None:
         stats.congestion_violations += count
         self.congestion_violations += count
+
+    def record_drop(self, stats: "RoundStats | None", count: int = 1) -> None:
+        """Record ``count`` dropped messages.
+
+        ``stats`` may be ``None`` for drops that happen before the first
+        round starts (a lenient-mode send over a missing link during
+        ``on_start``); such drops are still counted in the run totals.
+        """
+        if stats is not None:
+            stats.dropped_messages += count
+        self.dropped_messages += count
 
     def record_memory(self, node: Hashable, words: int) -> None:
         current = self.peak_memory_words.get(node, 0)
@@ -100,5 +122,24 @@ class MetricsCollector:
             "bits": self.total_bits,
             "max_message_bits": self.max_message_bits,
             "congestion_violations": self.congestion_violations,
+            "dropped_messages": self.dropped_messages,
             "max_memory_words": self.max_memory_words,
+        }
+
+    def window(self, start_round: int) -> Dict[str, int]:
+        """Counters restricted to the rounds at or after ``start_round``.
+
+        Protocol executions on a *reused* engine (the churn arenas restart a
+        protocol on the same simulator after applying joins/leaves) call
+        this with the engine's round at install time, so every execution
+        reports only its own rounds/messages/bits/violations/drops.
+        """
+        rounds = [stats for stats in self.per_round if stats.round_index >= start_round]
+        return {
+            "rounds": len(rounds),
+            "messages": sum(stats.messages for stats in rounds),
+            "bits": sum(stats.bits for stats in rounds),
+            "max_message_bits": max((stats.max_message_bits for stats in rounds), default=0),
+            "congestion_violations": sum(stats.congestion_violations for stats in rounds),
+            "dropped_messages": sum(stats.dropped_messages for stats in rounds),
         }

@@ -84,7 +84,10 @@ class Network:
 
         With ``label=None`` the physical link is dropped regardless of how
         many labels it carried; with a label, only that label is removed and
-        the physical link survives while other labels remain.
+        the physical link survives while other labels remain.  Removing a
+        label the link does not carry raises :class:`LinkError` — silently
+        keeping the link would let a churn rewiring bug (asking to unlink a
+        level the pair is not adjacent at) go unnoticed.
         """
         key = _normalize(u, v)
         if v not in self._adjacency.get(u, set()):
@@ -93,6 +96,10 @@ class Network:
             self._labels.pop(key, None)
         else:
             labels = self._labels.get(key, set())
+            if label not in labels:
+                raise LinkError(
+                    f"link between {u!r} and {v!r} does not carry label {label!r}"
+                )
             labels.discard(label)
             if labels:
                 return

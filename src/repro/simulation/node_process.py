@@ -15,6 +15,19 @@ the previous round and calls :meth:`NodeProcess.on_round` with a
 
 Processes signal completion by setting :attr:`NodeProcess.done`; the
 simulator stops when every process is done and no message is in flight.
+
+``done`` doubles as the *activity* flag: the engine only invokes a done
+process when its inbox is non-empty, so message-driven processes should
+stay ``done = True`` while passively waiting (they are woken by delivery)
+and set ``done = False`` only while they have self-driven work pending —
+e.g. an outbox they stream one entry per round from.  Keeping waiters
+passive is what lets the engine's active-set hot path skip them entirely.
+
+Lifecycle under churn: a process registered after the run started (a join
+injected by ``Simulator.schedule``) receives :meth:`NodeProcess.on_start`
+at the beginning of its first round; a process retired by churn (its node
+left the network, or ``Simulator.retire`` was called) is never invoked
+again but keeps its ``result`` readable.
 """
 
 from __future__ import annotations

@@ -52,8 +52,12 @@ from repro.workloads.scenarios import (
     LeaveEvent,
     RequestEvent,
     Scenario,
+    ScenarioReplay,
     ScenarioReport,
+    apply_join,
+    apply_leave,
     churn_scenario,
+    replay_scenario,
     run_scenario,
     scale_scenario,
     scenario_requests,
@@ -72,10 +76,14 @@ __all__ = [
     "LeaveEvent",
     "RequestEvent",
     "Scenario",
+    "ScenarioReplay",
     "ScenarioReport",
     "WORKLOADS",
     "adversarial_for_static",
+    "apply_join",
+    "apply_leave",
     "churn_scenario",
+    "replay_scenario",
     "community_traffic",
     "fig2_access_pattern",
     "fig3_communication_graph",

@@ -32,26 +32,42 @@ E13 experiment and ``benchmarks/bench_e13_scale.py``: heavy-hitter pairs
 placed with key-space locality, a trickle of far "cross" pairs that force
 deep transformations, periodic flash crowds around hotspots, and steady
 background churn.
+
+Scenarios also replay against the *message-passing* side of the repository:
+:func:`replay_scenario` translates a scenario's join/leave events into
+:meth:`~repro.simulation.Simulator.schedule` callbacks that rewire the
+skip-graph links of a live CONGEST simulator (and start/retire the affected
+processes), so the same 4096-node churn schedules that drive
+``bench_e09_comparison`` also drive the distributed protocols in
+:mod:`repro.distributed` — that bridge is what ``bench_e11_congest`` runs.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.adapter import DSGAdapter, ServingAlgorithm
 from repro.core.dsg import DSGConfig
+from repro.simulation import NodeProcess, Simulator
 from repro.simulation.rng import make_rng
-from repro.skipgraph.node import Key
+from repro.skipgraph.build import draw_membership_bits
+from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.node import Key, SkipGraphNode
+from repro.skipgraph.skipgraph import SkipGraph
 
 __all__ = [
     "JoinEvent",
     "LeaveEvent",
     "RequestEvent",
     "Scenario",
+    "ScenarioReplay",
     "ScenarioReport",
+    "apply_join",
+    "apply_leave",
     "churn_scenario",
+    "replay_scenario",
     "run_scenario",
     "scale_scenario",
     "scenario_requests",
@@ -278,6 +294,149 @@ def workload_scenario(
     )
 
 
+# ------------------------------------------------------- simulation bridge
+def apply_join(sim: Simulator, graph: SkipGraph, key: Key, rng) -> None:
+    """Join ``key`` into ``graph`` and rewire ``sim``'s network accordingly.
+
+    Membership bits are drawn with the classical join rule
+    (:func:`~repro.skipgraph.build.draw_membership_bits`, the same stream
+    discipline the DSG/baseline adapters use), the node is inserted into
+    the skip graph, and the network is patched per level following the
+    :func:`~repro.distributed.routing_protocol.skip_graph_network`
+    convention: the new node links to its left/right list neighbours at
+    every level it reaches, and each (left, right) pair it lands between
+    loses its adjacency label at that level.
+    """
+    bits = draw_membership_bits(graph, key, rng)
+    graph.add_node(SkipGraphNode(key=key, membership=MembershipVector(bits)))
+    network = sim.network
+    network.add_node(key)
+    for level in range(graph.singleton_level(key) + 1):
+        left, right = graph.neighbors(key, level)
+        if left is not None and right is not None:
+            network.remove_link(left, right, label=f"level{level}")
+        for neighbor in (left, right):
+            if neighbor is not None:
+                network.add_link(key, neighbor, label=f"level{level}")
+
+
+def apply_leave(sim: Simulator, graph: SkipGraph, key: Key) -> None:
+    """Remove ``key`` from ``graph``, rewire ``sim``'s network, retire its process.
+
+    The departed node's left/right list neighbours become adjacent at every
+    level it occupied (links close up over it, Section IV-G); messages
+    still in flight towards the node are dropped and recorded by the
+    engine, never raised.
+    """
+    closures = []
+    for level in range(graph.singleton_level(key) + 1):
+        left, right = graph.neighbors(key, level)
+        if left is not None and right is not None:
+            closures.append((level, left, right))
+    graph.remove_node(key)
+    network = sim.network
+    if network.has_node(key):
+        network.remove_node(key)
+    for level, left, right in closures:
+        network.add_link(left, right, label=f"level{level}")
+    if key in sim.processes:
+        sim.retire(key)
+
+
+@dataclass
+class ScenarioReplay:
+    """What :func:`replay_scenario` scheduled onto the simulator."""
+
+    scenario: str
+    joins: int
+    leaves: int
+    requests: int
+    first_round: int
+    last_round: int
+
+
+def replay_scenario(
+    sim: Simulator,
+    scenario: Scenario,
+    process_factory: Optional[Callable[[Key], Optional[NodeProcess]]] = None,
+    graph: Optional[SkipGraph] = None,
+    start_round: Optional[int] = None,
+    spacing: int = 1,
+    on_request: Optional[Callable[[Simulator, RequestEvent], None]] = None,
+    seed: Optional[int] = None,
+) -> ScenarioReplay:
+    """Schedule ``scenario``'s events as churn callbacks on a live simulator.
+
+    This is the bridge between the workload layer and the message-passing
+    arena: the same :func:`churn_scenario` / :func:`scale_scenario`
+    schedules that drive the DSG front end replay against the
+    :mod:`repro.distributed` protocols unchanged.  Events are assigned
+    consecutive rounds (``spacing`` apart, starting at ``start_round``,
+    default: the simulator's next round) and injected through
+    :meth:`~repro.simulation.Simulator.schedule`:
+
+    * :class:`JoinEvent` — :func:`apply_join` rewires ``graph`` and the
+      network; ``process_factory(key)`` (if given) builds the joiner's
+      process, registered so it receives ``on_start`` in its join round.
+    * :class:`LeaveEvent` — :func:`apply_leave` rewires and retires.
+    * :class:`RequestEvent` — handed to ``on_request(sim, event)`` when
+      provided (e.g. to enqueue a routing request on the source process);
+      skipped otherwise (no round consumed).
+
+    ``graph`` must be the skip-graph topology mirror the simulator's
+    network was built from (:func:`~repro.distributed.routing_protocol.skip_graph_network`);
+    it is required when the scenario contains churn.  The run does not
+    quiesce before the last scheduled event, so a protocol running on the
+    simulator experiences the whole churn schedule.
+    """
+    has_churn = any(not isinstance(event, RequestEvent) for event in scenario.events)
+    if has_churn and graph is None:
+        raise ValueError("replaying a scenario with churn requires the skip graph mirror")
+    rng = make_rng(seed if seed is not None else scenario.params.get("seed"))
+    cursor = sim.round if start_round is None else max(start_round, sim.round)
+    first = cursor
+    joins = leaves = requests = 0
+    scheduled_any = False
+    for event in scenario.events:
+        if isinstance(event, RequestEvent):
+            if on_request is None:
+                continue
+            requests += 1
+
+            def request_callback(s: Simulator, event=event) -> None:
+                on_request(s, event)
+
+            sim.schedule(cursor, request_callback)
+        elif isinstance(event, JoinEvent):
+            joins += 1
+
+            def join_callback(s: Simulator, key=event.key) -> None:
+                apply_join(s, graph, key, rng)
+                if process_factory is not None:
+                    process = process_factory(key)
+                    if process is not None:
+                        s.add_process(process)
+
+            sim.schedule(cursor, join_callback)
+        else:
+            leaves += 1
+
+            def leave_callback(s: Simulator, key=event.key) -> None:
+                apply_leave(s, graph, key)
+
+            sim.schedule(cursor, leave_callback)
+        scheduled_any = True
+        cursor += spacing
+    return ScenarioReplay(
+        scenario=scenario.name,
+        joins=joins,
+        leaves=leaves,
+        requests=requests,
+        first_round=first,
+        last_round=cursor - spacing if scheduled_any else first,
+    )
+
+
 # ----------------------------------------------------------------- generators
 def churn_scenario(
     n: int = 256,
@@ -290,6 +449,8 @@ def churn_scenario(
     pairs: int = 8,
     hot_fraction: float = 0.9,
     name: Optional[str] = None,
+    initial_keys: Optional[Sequence[Key]] = None,
+    next_key: Optional[Key] = None,
 ) -> Scenario:
     """Traffic interleaved with node join/leave churn.
 
@@ -316,12 +477,25 @@ def churn_scenario(
         traffic) or ``"uniform"``.
     churn_rate:
         Per-slot probability of a churn event.
+    initial_keys:
+        Explicit starting population (default: keys ``1..n``; ``n`` is
+        ignored when given).  Lets a second churn wave start from the
+        population a first wave left behind.
+    next_key:
+        First key issued to joining peers (default: one above the current
+        population's maximum).  When chaining waves, pass the previous
+        wave's high-water mark — ``max(alive)`` alone cannot know about an
+        earlier joiner that has already departed, so relying on the
+        default across waves may re-issue such a key.
     """
     rng = make_rng(seed)
+    alive = list(initial_keys) if initial_keys is not None else list(range(1, n + 1))
+    n = len(alive)
     if n < max(2 * pairs, working_set_size, 2) + 1:
         raise ValueError("population too small for the requested sampler")
-    alive = list(range(1, n + 1))
-    next_key = n + 1
+    if next_key is None:
+        next_key = max(alive) + 1
+    start_keys = list(alive)
 
     if base == "temporal":
         active = rng.sample(alive, working_set_size)
@@ -372,7 +546,7 @@ def churn_scenario(
 
     return Scenario(
         name=name or f"churn-{base}",
-        initial_keys=list(range(1, n + 1)),
+        initial_keys=start_keys,
         events=events,
         params={
             "n": n,

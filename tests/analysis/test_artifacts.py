@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.artifacts import (
     AlgorithmResult,
     BenchmarkArtifact,
+    ProtocolResult,
     load_artifact,
     load_artifacts,
     render_comparison,
@@ -135,3 +136,61 @@ class TestCompareCLI:
         assert artifact.benchmark == "E4"
         assert artifact.all_checks_passed
         assert artifact.config.get("quick") is False
+
+
+def protocol_artifact():
+    return BenchmarkArtifact(
+        benchmark="e11_congest",
+        config={"n": 4096, "seed": 42},
+        wall_seconds=3.1,
+        protocols=[
+            ProtocolResult(
+                name="routing", n=4096, rounds=205, messages=89, total_bits=23000,
+                max_message_bits=264, budget_bits=3072, congestion_violations=0,
+                dropped_messages=1, joins=103, leaves=102, wall_seconds=1.2,
+            ),
+            ProtocolResult(
+                name="amf", n=4096, rounds=139, messages=18914, total_bits=1_500_000,
+                max_message_bits=136, budget_bits=3072, congestion_violations=0,
+            ),
+        ],
+        checks={"zero_congestion_violations": True},
+    )
+
+
+class TestProtocolArtifacts:
+    def test_round_trip_preserves_protocol_rows(self, tmp_path):
+        path = write_artifact(protocol_artifact(), tmp_path)
+        loaded = load_artifact(path)
+        assert loaded.schema_version == 2
+        routing = loaded.protocol("routing")
+        assert routing.rounds == 205
+        assert routing.dropped_messages == 1
+        assert routing.joins == 103 and routing.leaves == 102
+        assert routing.conformant and routing.within_budget
+        with pytest.raises(KeyError):
+            loaded.protocol("missing")
+
+    def test_schema_v1_files_load_without_protocols(self, tmp_path):
+        path = write_artifact(sample_artifact(), tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 1
+        del data["protocols"]
+        path.write_text(json.dumps(data))
+        loaded = load_artifact(path)
+        assert loaded.protocols == []
+        assert loaded.algorithm("dsg").requests == 2000
+
+    def test_render_includes_protocol_table(self):
+        report = render_comparison([protocol_artifact()])
+        assert "| protocol | n | rounds |" in report
+        assert "| routing | 4096 | 205 |" in report
+        assert "+103/-102" in report
+
+    def test_nonconformant_protocol_flagged(self):
+        row = ProtocolResult(
+            name="bad", n=8, rounds=1, messages=1, total_bits=9999,
+            max_message_bits=9999, budget_bits=96, congestion_violations=2,
+        )
+        assert not row.within_budget
+        assert not row.conformant

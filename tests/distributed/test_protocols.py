@@ -6,16 +6,25 @@ import pytest
 
 from repro.core.amf import approximate_median
 from repro.distributed import (
+    install_amf,
+    install_routing,
+    install_sum,
+    make_router,
     run_amf_protocol,
     run_list_broadcast,
     run_routing_protocol,
     run_sum_protocol,
+    segment_network,
+    skip_graph_network,
+    trace_route,
 )
 from repro.distributed.sum_protocol import segment_tree
+from repro.simulation import Simulator, SimulatorConfig
 from repro.simulation.message import WORD_BITS
 from repro.simulation.rng import make_rng
 from repro.skipgraph import build_balanced_skip_graph, route
 from repro.skiplist import BalancedSkipList
+from repro.workloads import apply_join, apply_leave
 
 
 def congest_budget(n: int, words: int = 8) -> int:
@@ -48,6 +57,20 @@ class TestRoutingProtocol:
         protocol = run_routing_protocol(graph, 5, 5, seed=4)
         assert protocol.path == [5]
         assert protocol.distance == 0
+
+    def test_concurrent_routes_trace_independently(self):
+        """Routes to distinct destinations crossing shared nodes keep their
+        own forwarding records, so each trace matches the structural path."""
+        graph = build_balanced_skip_graph(range(1, 33))
+        sim = Simulator(skip_graph_network(graph), SimulatorConfig(seed=4, max_rounds=1_000))
+        processes = install_routing(sim, graph, {1: [32], 2: [31], 16: [3]})
+        metrics = sim.run()
+        assert metrics.congestion_violations == 0
+        for source, destination in [(1, 32), (2, 31), (16, 3)]:
+            assert trace_route(processes, source, destination) == route(
+                graph, source, destination
+            ).path
+            assert processes[destination].result == "reached"
 
 
 class TestBroadcastProtocol:
@@ -106,6 +129,121 @@ class TestSumProtocol:
         assert result.max_message_bits <= congest_budget(len(items))
         # Convergecast + broadcast over a tree of logarithmic depth.
         assert result.rounds <= 6 * skiplist.height + 10
+
+
+def _window_of(sim, checkpoint):
+    return sim.metrics.window(checkpoint)
+
+
+class TestChurnSafeRestarts:
+    """Lifecycle correctness under engine reuse (the PR's acceptance property):
+    running a protocol, churning the topology, and rerunning on the *same*
+    engine must reproduce a fresh simulator on the post-churn topology."""
+
+    KEYS = range(1, 33)
+
+    def _churn(self, sim, graph, rng):
+        apply_leave(sim, graph, 7)
+        apply_leave(sim, graph, 20)
+        apply_join(sim, graph, 100, rng)
+        apply_join(sim, graph, 101, rng)
+
+    def test_routing_rerun_after_churn_matches_fresh_simulator(self):
+        graph = build_balanced_skip_graph(self.KEYS)
+        sim = Simulator(skip_graph_network(graph), SimulatorConfig(seed=5))
+        install_routing(sim, graph, {1: [32]})
+        sim.run()
+        pre_churn = _window_of(sim, 0)
+        assert pre_churn["congestion_violations"] == 0 and pre_churn["rounds"] > 0
+
+        sim.retire_all()
+        self._churn(sim, graph, make_rng(13))
+
+        # Post-churn rerun on the reused engine...
+        checkpoint = sim.round
+        reused_processes = install_routing(sim, graph, {2: [31]})
+        sim.run()
+        reused_window = _window_of(sim, checkpoint)
+        reused_path = trace_route(reused_processes, 2, 31)
+
+        # ...must equal a fresh simulator built on the post-churn topology.
+        fresh_sim = Simulator(skip_graph_network(graph), SimulatorConfig(seed=5))
+        fresh_processes = install_routing(fresh_sim, graph, {2: [31]})
+        fresh_sim.run()
+        fresh_window = _window_of(fresh_sim, 0)
+        fresh_path = trace_route(fresh_processes, 2, 31)
+
+        assert reused_path == fresh_path
+        assert reused_window == fresh_window
+        assert reused_processes[31].result == fresh_processes[31].result == "reached"
+
+    def test_rewired_network_matches_rebuilt_network(self):
+        graph = build_balanced_skip_graph(self.KEYS)
+        sim = Simulator(skip_graph_network(graph), SimulatorConfig(seed=5))
+        self._churn(sim, graph, make_rng(13))
+        rebuilt = skip_graph_network(graph)
+        assert set(sim.network.nodes) == set(rebuilt.nodes)
+        assert {frozenset(edge) for edge in sim.network.edges()} == {
+            frozenset(edge) for edge in rebuilt.edges()
+        }
+        for u, v in rebuilt.edges():
+            assert sim.network.labels(u, v) == rebuilt.labels(u, v)
+
+    def test_sum_rerun_on_reused_engine_matches_fresh(self):
+        items = list(range(1, 65))
+        skiplist = BalancedSkipList(items, a=4, rng=make_rng(6))
+        values = {item: float(item) for item in items}
+
+        sim = Simulator(segment_network(skiplist), SimulatorConfig(seed=6))
+        install_sum(sim, skiplist, values)
+        sim.run()
+        first = _window_of(sim, 0)
+
+        sim.retire_all()
+        checkpoint = sim.round
+        processes = install_sum(sim, skiplist, values)
+        sim.run()
+        second = _window_of(sim, checkpoint)
+
+        assert second == first
+        assert processes[skiplist.root].total == sum(values.values())
+
+    def test_amf_rerun_on_reused_engine_matches_fresh(self):
+        rng = make_rng(8)
+        values = {i: float(rng.random()) for i in range(1, 65)}
+        skiplist = BalancedSkipList(list(values), a=4, rng=make_rng(8))
+
+        sim = Simulator(segment_network(skiplist), SimulatorConfig(seed=8))
+        first_gen = install_amf(sim, skiplist, values, a=4)
+        sim.run()
+        first = _window_of(sim, 0)
+        first_median = first_gen[skiplist.root].median
+
+        sim.retire_all()
+        checkpoint = sim.round
+        second_gen = install_amf(sim, skiplist, values, a=4)
+        sim.run()
+        second = _window_of(sim, checkpoint)
+
+        assert second == first
+        assert second_gen[skiplist.root].median == first_median
+
+    def test_router_joiner_routes_after_initialization(self):
+        graph = build_balanced_skip_graph(self.KEYS)
+        sim = Simulator(
+            skip_graph_network(graph),
+            SimulatorConfig(seed=9, strict_links=False, max_rounds=1_000),
+        )
+        install_routing(sim, graph)
+
+        def join(s):
+            apply_join(s, graph, 200, make_rng(3))
+            s.add_process(make_router(graph, 200, requests=[1]))
+
+        sim.schedule(2, join)
+        sim.run()
+        assert sim.process(1).result == "reached"
+        assert sim.metrics.congestion_violations == 0
 
 
 class TestAMFProtocol:

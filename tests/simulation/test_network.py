@@ -83,6 +83,15 @@ class TestLinks:
         net.remove_link(1, 2, label="level1")
         assert not net.has_link(1, 2)
 
+    def test_remove_unknown_label_raises(self):
+        net = Network()
+        net.add_link(1, 2, label="level0")
+        with pytest.raises(LinkError):
+            net.remove_link(1, 2, label="level7")
+        assert net.has_link(1, 2)  # the failed removal left the link intact
+        net.remove_link(1, 2)  # label=None still removes unconditionally
+        assert not net.has_link(1, 2)
+
     def test_edge_count(self, triangle):
         assert triangle.edge_count() == 3
         assert len(list(triangle.edges())) == 3

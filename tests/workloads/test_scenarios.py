@@ -7,7 +7,9 @@ from repro.workloads import (
     JoinEvent,
     LeaveEvent,
     RequestEvent,
+    Scenario,
     churn_scenario,
+    replay_scenario,
     run_scenario,
     scale_scenario,
 )
@@ -109,3 +111,115 @@ class TestScaleScenario:
         assert report.requests == scenario.request_count
         assert report.requests_per_second > 0
         assert report.final_nodes == report.initial_nodes + report.joins - report.leaves
+
+
+class TestReplayScenario:
+    """The bridge from scenario schedules to the CONGEST simulator."""
+
+    def _arena(self, n=32, seed=5):
+        from repro.distributed import skip_graph_network
+        from repro.simulation import Simulator, SimulatorConfig
+        from repro.skipgraph import build_balanced_skip_graph
+
+        graph = build_balanced_skip_graph(range(1, n + 1))
+        network = skip_graph_network(graph)
+        simulator = Simulator(
+            network,
+            SimulatorConfig(seed=seed, strict_links=False, strict_congest=False,
+                            max_rounds=10_000),
+        )
+        return graph, simulator
+
+    def test_join_and_leave_events_rewire_the_network(self):
+        from repro.distributed import skip_graph_network
+
+        graph, simulator = self._arena()
+        scenario = churn_scenario(n=32, length=40, seed=11, churn_rate=0.5)
+        replay = replay_scenario(simulator, scenario, graph=graph)
+        assert replay.joins > 0 and replay.leaves > 0
+        simulator.run()
+        # The incrementally rewired network equals one rebuilt from scratch
+        # off the mirrored skip graph (links and per-level labels).
+        rebuilt = skip_graph_network(graph)
+        assert set(simulator.network.nodes) == set(rebuilt.nodes)
+        assert {frozenset(e) for e in simulator.network.edges()} == {
+            frozenset(e) for e in rebuilt.edges()
+        }
+        for u, v in rebuilt.edges():
+            assert simulator.network.labels(u, v) == rebuilt.labels(u, v)
+        expected = 32 + replay.joins - replay.leaves
+        assert len(simulator.network) == expected
+
+    def test_joiner_process_factory_receives_on_start(self):
+        from repro.simulation import NodeProcess
+
+        started = []
+
+        class Recorder(NodeProcess):
+            def __init__(self, key):
+                super().__init__(key)
+                self.done = True
+
+            def on_start(self, ctx):
+                started.append((self.node_id, ctx.round))
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        graph, simulator = self._arena()
+        scenario = Scenario(
+            name="one-join", initial_keys=list(range(1, 33)),
+            events=[JoinEvent(40)], params={"seed": 3},
+        )
+        replay = replay_scenario(simulator, scenario, process_factory=Recorder, graph=graph)
+        simulator.run()
+        assert started == [(40, replay.first_round)]
+        assert 40 in simulator.processes
+
+    def test_leaving_node_process_is_retired(self):
+        from repro.distributed import install_routing
+
+        graph, simulator = self._arena()
+        install_routing(simulator, graph)  # every node runs a (passive) router
+        scenario = Scenario(
+            name="one-leave", initial_keys=list(range(1, 33)),
+            events=[LeaveEvent(5)], params={"seed": 3},
+        )
+        replay_scenario(simulator, scenario, graph=graph)
+        simulator.run()
+        assert 5 not in simulator.processes
+        assert 5 in simulator.retired
+        assert not simulator.network.has_node(5)
+
+    def test_requests_need_a_handler_and_churn_needs_a_graph(self):
+        graph, simulator = self._arena()
+        seen = []
+        scenario = Scenario(
+            name="requests", initial_keys=list(range(1, 33)),
+            events=[RequestEvent(1, 2), RequestEvent(3, 4)], params={},
+        )
+        replay = replay_scenario(
+            simulator, scenario,
+            on_request=lambda sim, event: seen.append((event.source, event.destination)),
+        )
+        simulator.run()
+        assert seen == [(1, 2), (3, 4)]
+        assert replay.requests == 2
+
+        churny = Scenario(
+            name="churny", initial_keys=list(range(1, 33)),
+            events=[JoinEvent(50)], params={},
+        )
+        with pytest.raises(ValueError):
+            replay_scenario(simulator, churny)  # no graph mirror given
+
+    def test_second_wave_joins_do_not_collide_with_first_wave(self):
+        first = churn_scenario(n=32, length=60, seed=1, churn_rate=0.5)
+        alive = replay_validity(first)
+        second = churn_scenario(length=60, seed=2, churn_rate=0.5,
+                                initial_keys=sorted(alive))
+        assert set(second.initial_keys) == alive
+        first_joins = {e.key for e in first.events if isinstance(e, JoinEvent)}
+        second_joins = {e.key for e in second.events if isinstance(e, JoinEvent)}
+        assert not (first_joins & second_joins)
+        replay_validity(second)

@@ -17,13 +17,12 @@ Under ``BENCH_QUICK=1`` both shrink to CI smoke shapes.
 import time
 from pathlib import Path
 
-from conftest import artifact_dir, experiment_params, quick_mode
+from conftest import artifact_dir, experiment_params, publish_artifact, quick_mode
 
 from repro.analysis.artifacts import (
     BenchmarkArtifact,
     ProtocolResult,
     render_comparison,
-    write_artifact,
 )
 from repro.distributed import run_amf_protocol
 from repro.experiments import run_experiment
@@ -89,7 +88,7 @@ def test_e06_protocol_scale(run_once):
         checks=checks,
     )
     out_dir = Path(artifact_dir())
-    json_path = write_artifact(artifact, out_dir)
+    json_path = publish_artifact(artifact)
     report_md = render_comparison([artifact])
     (out_dir / "BENCH_e06_amf_rounds.md").write_text(report_md)
 

@@ -24,13 +24,12 @@ Run with::
 
 from pathlib import Path
 
-from conftest import artifact_dir, experiment_params, quick_mode
+from conftest import artifact_dir, experiment_params, publish_artifact, quick_mode
 
 from repro.analysis.artifacts import (
     AlgorithmResult,
     BenchmarkArtifact,
     render_comparison,
-    write_artifact,
 )
 from repro.baselines import make_comparison_algorithms
 from repro.core.dsg import DSGConfig
@@ -127,7 +126,7 @@ def test_e09_scale_comparison(run_once):
         checks=checks,
     )
     out_dir = Path(artifact_dir())
-    json_path = write_artifact(artifact, out_dir)
+    json_path = publish_artifact(artifact)
     report_md = render_comparison([artifact])
     md_path = out_dir / "BENCH_e09_comparison.md"
     md_path.write_text(report_md)

@@ -42,13 +42,12 @@ Run with::
 import time
 from pathlib import Path
 
-from conftest import artifact_dir, experiment_params, quick_mode
+from conftest import artifact_dir, experiment_params, publish_artifact, quick_mode
 
 from repro.analysis.artifacts import (
     BenchmarkArtifact,
     ProtocolResult,
     render_comparison,
-    write_artifact,
 )
 from repro.distributed import (
     install_broadcast,
@@ -254,7 +253,7 @@ def test_e11_congest_arena(run_once):
         checks=checks,
     )
     out_dir = Path(artifact_dir())
-    json_path = write_artifact(artifact, out_dir)
+    json_path = publish_artifact(artifact)
     report_md = render_comparison([artifact])
     md_path = out_dir / "BENCH_e11_congest.md"
     md_path.write_text(report_md)

@@ -15,6 +15,8 @@ remain an on-demand/manual job.
 """
 
 import os
+import shutil
+from pathlib import Path
 
 import pytest
 
@@ -51,6 +53,24 @@ def artifact_dir():
     """
     default = os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts")
     return os.environ.get("BENCH_ARTIFACT_DIR", default)
+
+
+def publish_artifact(artifact):
+    """Write ``artifact`` to :func:`artifact_dir` and mirror it to the repo root.
+
+    The perf-trajectory tooling scans the repository root for
+    ``BENCH_*.json`` files, so every benchmark that produces an artifact
+    publishes through this helper: the canonical copy lands in the artifact
+    directory (uploaded by CI), the mirror next to ``README.md`` keeps the
+    root history populated.  Returns the canonical path.
+    """
+    from repro.analysis.artifacts import write_artifact
+
+    path = write_artifact(artifact, Path(artifact_dir()))
+    repo_root = Path(__file__).resolve().parent.parent
+    if path.parent.resolve() != repo_root:
+        shutil.copy2(path, repo_root / path.name)
+    return path
 
 
 @pytest.fixture

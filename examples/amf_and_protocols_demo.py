@@ -11,9 +11,12 @@ message size in bits — the quantities the paper's model constrains.
 Run with::
 
     python examples/amf_and_protocols_demo.py
+
+``EXAMPLES_QUICK=1`` shrinks the instance (the CI smoke shape).
 """
 
 import math
+import os
 
 from repro import BalancedSkipList, approximate_median, build_balanced_skip_graph, distributed_sum
 from repro.analysis.tables import Table
@@ -26,8 +29,11 @@ from repro.distributed import (
 from repro.simulation.rng import make_rng
 
 
+QUICK = os.environ.get("EXAMPLES_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
-    n = 128
+    n = 48 if QUICK else 128
     a = 4
     rng = make_rng(1)
     values = {i: float(rng.randrange(1000)) for i in range(1, n + 1)}

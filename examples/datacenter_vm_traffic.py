@@ -19,7 +19,11 @@ and prints the routing-cost comparison plus DSG's transformation overhead.
 Run with::
 
     python examples/datacenter_vm_traffic.py
+
+``EXAMPLES_QUICK=1`` shrinks the instance (the CI smoke shape).
 """
+
+import os
 
 from repro import (
     DSGConfig,
@@ -35,12 +39,17 @@ from repro.core.working_set import working_set_bound
 from repro.simulation.rng import make_rng
 
 
+QUICK = os.environ.get("EXAMPLES_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
-    vms = list(range(1, 97))
-    # 12 application groups of 8 VMs each; 95% of the traffic stays inside a
+    vm_count, length, communities = (48, 150, 6) if QUICK else (96, 600, 12)
+    vms = list(range(1, vm_count + 1))
+    # Application groups of 8 VMs each; 95% of the traffic stays inside a
     # group (the rack/application locality the paper's conclusion describes).
     trace = generate_workload(
-        "community", vms, length=600, seed=7, communities=12, intra_probability=0.95
+        "community", vms, length=length, seed=7, communities=communities,
+        intra_probability=0.95,
     )
 
     dsg = DynamicSkipGraph(keys=vms, config=DSGConfig(seed=7))
@@ -54,7 +63,7 @@ def main() -> None:
     offline_summary = summarize_baseline_run(offline.serve(trace))
 
     table = Table(
-        title="VM-to-VM overlay routing cost (600 requests, 6 application groups)",
+        title=f"VM-to-VM overlay routing cost ({len(trace)} requests, {communities} application groups)",
         columns=["overlay", "avg routing", "steady-state avg", "worst routing"],
     )
     for summary in (static_summary, offline_summary, dsg_summary):

@@ -10,7 +10,11 @@ self-adjusting single-BST overlay the paper cites as closest prior work.
 Run with::
 
     python examples/p2p_content_overlay.py
+
+``EXAMPLES_QUICK=1`` shrinks the instance (the CI smoke shape).
 """
+
+import os
 
 from repro import (
     DSGConfig,
@@ -23,9 +27,13 @@ from repro import (
 from repro.analysis.tables import Table
 
 
+QUICK = os.environ.get("EXAMPLES_QUICK", "") not in ("", "0")
+
+
 def main() -> None:
-    peers = list(range(1, 81))
-    trace = generate_workload("zipf", peers, length=500, seed=11, exponent=1.3)
+    peer_count, length = (40, 120) if QUICK else (80, 500)
+    peers = list(range(1, peer_count + 1))
+    trace = generate_workload("zipf", peers, length=length, seed=11, exponent=1.3)
 
     dsg = DynamicSkipGraph(keys=peers, config=DSGConfig(seed=11))
     splaynet = SplayNetBaseline(peers)
@@ -35,9 +43,10 @@ def main() -> None:
     dsg.run_sequence(trace[:half])
     splay_run_first = splaynet.serve(trace[:half])
 
-    # Churn: ten peers leave, ten new peers join (Section IV-G).
-    leaving = [5, 15, 25, 35, 45, 55, 65, 75, 12, 22]
-    joining = list(range(200, 210))
+    # Churn: a batch of peers leaves, the same number joins (Section IV-G).
+    departures = 4 if QUICK else 10
+    leaving = peers[4::8][:departures]
+    joining = list(range(200, 200 + len(leaving)))
     for peer in leaving:
         dsg.remove_node(peer)
     for peer in joining:

@@ -8,31 +8,39 @@ linked and subsequent requests between the two cost no intermediate hops.
 Run with::
 
     python examples/quickstart.py
+
+``EXAMPLES_QUICK=1`` shrinks the instance (the CI smoke shape).
 """
+
+import os
 
 from repro import DSGConfig, DynamicSkipGraph
 
+QUICK = os.environ.get("EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def main() -> None:
-    dsg = DynamicSkipGraph(keys=range(1, 65), config=DSGConfig(seed=42))
+    n = 24 if QUICK else 64
+    dsg = DynamicSkipGraph(keys=range(1, n + 1), config=DSGConfig(seed=42))
     print(f"built {dsg.n}-node skip graph, height {dsg.height()}")
 
-    first = dsg.request(3, 58)
+    u, v = 3, n - 6
+    first = dsg.request(u, v)
     print(
-        f"request (3, 58): routed over {first.routing_cost} intermediate nodes, "
+        f"request ({u}, {v}): routed over {first.routing_cost} intermediate nodes, "
         f"then adjusted in {first.transformation_rounds} rounds "
         f"(working set number {first.working_set_number})"
     )
 
-    second = dsg.request(3, 58)
+    second = dsg.request(u, v)
     print(
-        f"request (3, 58) again: {second.routing_cost} intermediate nodes "
-        f"(directly linked: {dsg.are_adjacent(3, 58)})"
+        f"request ({u}, {v}) again: {second.routing_cost} intermediate nodes "
+        f"(directly linked: {dsg.are_adjacent(u, v)})"
     )
 
     # A small cluster of nodes that keep talking to each other.
-    cluster = [3, 58, 17, 40]
-    for _ in range(10):
+    cluster = [u, v, n // 4, 2 * n // 3]
+    for _ in range(3 if QUICK else 10):
         for i, u in enumerate(cluster):
             dsg.request(u, cluster[(i + 1) % len(cluster)])
     distances = {

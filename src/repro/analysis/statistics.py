@@ -11,7 +11,6 @@ makes (heights, Lemmas 4-5; AMF rounds, Theorem 3; routing distances).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 __all__ = ["describe", "percentile", "log2_fit_slope"]

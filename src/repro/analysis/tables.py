@@ -12,7 +12,7 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
 
 __all__ = ["Table", "render_table", "to_csv"]
 

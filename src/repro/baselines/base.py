@@ -19,7 +19,7 @@ per-request retention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Tuple
+from typing import Hashable, List
 
 __all__ = ["BaselineRun", "RequestCost"]
 

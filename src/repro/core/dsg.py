@@ -26,9 +26,8 @@ working-set statistics, height tracking and memory auditing.
 from __future__ import annotations
 
 import math
-import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.groups import (
@@ -37,16 +36,16 @@ from repro.core.groups import (
     merge_groups_at_alpha,
     update_group_bases_after_transformation,
 )
+from repro.core.local_ops import LocalOp, OpRecorder
 from repro.core.priorities import compute_priorities
 from repro.core.state import DSGNodeState
 from repro.core.timestamps import TimestampContext, apply_timestamp_rules
-from repro.core.transformation import TransformationOutcome, transform
+from repro.core.transformation import transform
 from repro.core.working_set import CommunicationHistory
 from repro.simulation.rng import make_rng
 from repro.skipgraph.balance import a_balance_violations
 from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph, draw_membership_bits
 from repro.skipgraph.membership import MembershipVector
-from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.routing import RoutingResult, route
 from repro.skipgraph.skipgraph import SkipGraph
 
@@ -109,6 +108,12 @@ class RequestResult:
     dummies_added: int = 0
     dummies_removed: int = 0
     height_after: int = 0
+    #: The request's full local-operation plan (dummy self-destructions in
+    #: ``l_alpha`` followed by the transformation's ops), in application
+    #: order.  Replaying it on a copy of the pre-request graph reproduces
+    #: the post-request topology (see :mod:`repro.core.local_ops`); the
+    #: distributed protocol executes exactly this sequence as messages.
+    ops: Optional[List["LocalOp"]] = None
 
     @property
     def routing_cost(self) -> int:
@@ -196,6 +201,8 @@ class DynamicSkipGraph:
 
         self._time = 0
         self.history = CommunicationHistory(total_nodes=len(self.graph.real_keys))
+        #: Local-op plan of the most recent :meth:`add_node` / :meth:`remove_node`.
+        self.last_churn_ops: List[LocalOp] = []
         self.results: List[RequestResult] = []
         self._served = 0
         self._total_cost = 0
@@ -361,8 +368,16 @@ class DynamicSkipGraph:
         )
 
     def _adjust(self, result: RequestResult, u: Key, v: Key, t: int) -> None:
-        """Steps 2-12 of Algorithm 1."""
+        """Steps 2-12 of Algorithm 1.
+
+        Structurally this is a *planner* over the local-op kernel: every
+        mutation flows through one :class:`~repro.core.local_ops.OpRecorder`
+        (applied eagerly, recorded in order) and the request's plan is kept
+        on ``result.ops``.
+        """
         graph = self.graph
+        recorder = OpRecorder(graph)
+        result.ops = recorder.ops
         alpha = graph.common_level(u, v)
         result.alpha = alpha
         members_all = graph.list_of(u, alpha)
@@ -378,7 +393,7 @@ class DynamicSkipGraph:
             node = graph.node(key)
             if node.is_dummy:
                 if len(node.membership) > alpha:
-                    graph.remove_node(key)
+                    recorder.remove_dummy(key)
                     dummies_removed += 1
             else:
                 members.append(key)
@@ -450,6 +465,7 @@ class DynamicSkipGraph:
             rng=self._rng,
             use_exact_median=self.config.use_exact_median,
             maintain_a_balance=self.config.maintain_a_balance,
+            recorder=recorder,
         )
 
         update_group_bases_after_transformation(
@@ -496,37 +512,49 @@ class DynamicSkipGraph:
 
     # ------------------------------------------------------------ node churn
     def add_node(self, key: Key, payload=None) -> None:
-        """Add a peer with a random membership vector (Section IV-G)."""
+        """Add a peer with a random membership vector (Section IV-G).
+
+        The structural effect (the join itself plus any a-balance dummies it
+        forced) is recorded as a local-op plan on :attr:`last_churn_ops` —
+        the same contract request plans follow (``RequestResult.ops``), and
+        what the distributed protocol replays for churn events.
+        """
         self._check_keys([key])
         if self.graph.has_node(key):
             raise ValueError(f"key {key!r} already present")
+        recorder = OpRecorder(self.graph)
         bits = draw_membership_bits(self.graph, key, self._rng)
-        self.graph.add_node(SkipGraphNode(key=key, membership=MembershipVector(bits), payload=payload))
+        recorder.join(key, bits, payload=payload)
         state = DSGNodeState(key=key)
         state.group_base = initial_group_base(self.graph.singleton_level(key))
         self.states[key] = state
         self.history.total_nodes = len(self.graph.real_keys)
         if self.config.maintain_a_balance:
-            self.restore_a_balance()
+            self.restore_a_balance(recorder)
+        self.last_churn_ops = recorder.ops
 
     def remove_node(self, key: Key) -> None:
-        """Remove a peer (Section IV-G)."""
+        """Remove a peer (Section IV-G); the plan lands on :attr:`last_churn_ops`."""
         if not self.graph.has_node(key):
             raise KeyError(f"no node with key {key!r}")
         if self.graph.node(key).is_dummy:
             raise ValueError("dummy nodes are managed internally")
-        self.graph.remove_node(key)
+        recorder = OpRecorder(self.graph)
+        recorder.leave(key)
         self.states.pop(key, None)
         self.history.total_nodes = len(self.graph.real_keys)
         if self.config.maintain_a_balance:
-            self.restore_a_balance()
+            self.restore_a_balance(recorder)
+        self.last_churn_ops = recorder.ops
 
-    def restore_a_balance(self) -> int:
+    def restore_a_balance(self, recorder: Optional[OpRecorder] = None) -> int:
         """Insert dummy nodes until no a-balance violation remains.
 
         Returns the number of dummies inserted.  Used after node addition or
         removal (Section IV-G); per-transformation maintenance happens inside
-        :func:`repro.core.transformation.transform`.
+        :func:`repro.core.transformation.transform`.  Each insertion is
+        emitted through ``recorder`` (one over :attr:`graph` is created when
+        not supplied), so callers chaining a churn plan capture the fix-ups.
 
         Every violation reported by one scan is repaired before rescanning:
         the runs of a scan are disjoint, so their repairs are independent,
@@ -534,6 +562,8 @@ class DynamicSkipGraph:
         next scan round picks up.  This keeps the number of O(n * height)
         scans proportional to the cascade depth instead of the dummy count.
         """
+        if recorder is None:
+            recorder = OpRecorder(self.graph)
         inserted = 0
         for _ in range(2 * len(self.graph) + 1):
             violations = a_balance_violations(self.graph, self.config.a)
@@ -547,10 +577,7 @@ class DynamicSkipGraph:
                 if dummy_key is None:
                     continue
                 prefix = self.graph.membership(lower).prefix(violation.level)
-                membership = MembershipVector(prefix.bits + (1 - violation.bit,))
-                self.graph.add_node(
-                    SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True)
-                )
+                recorder.insert_dummy(dummy_key, prefix.bits + (1 - violation.bit,))
                 inserted += 1
                 progressed = True
             if not progressed:

@@ -1,0 +1,282 @@
+"""The local-operation kernel for DSG restructuring.
+
+The paper's central locality claim is that every restructure a request (or a
+churn event) triggers is a *bounded-neighbourhood* operation: a node flips or
+forgets membership bits of its own vector, splices itself into (or out of) a
+level list next to nodes it already knows, or creates/destroys a dummy
+neighbour.  This module makes that vocabulary first class:
+
+* :class:`PromoteOp` — assign the membership bit selecting the sublist at
+  ``level`` (in the transformation this is always an *append*: the node
+  descends one level and splices into the 0- or 1-sublist);
+* :class:`DemoteOp` — truncate the membership vector to ``length`` bits (the
+  node leaves every list deeper than ``length``; the lists it leaves close up
+  over it);
+* :class:`DummyInsertOp` / :class:`DummyRemoveOp` — create or destroy a dummy
+  node (a-balance maintenance, Section IV-F; dummies destroy themselves when
+  a transformation notification reaches them);
+* :class:`NodeJoinOp` / :class:`NodeLeaveOp` — peer churn (Section IV-G).
+
+Every structural mutation of the repository flows through this vocabulary:
+
+* the **centralized hot path** plans and applies in one pass — the planners
+  (:meth:`repro.core.dsg.DynamicSkipGraph._adjust`,
+  :func:`repro.core.transformation.transform`,
+  :meth:`repro.core.dsg.DynamicSkipGraph.restore_a_balance`) drive an
+  :class:`OpRecorder`, which applies each op to the
+  :class:`~repro.skipgraph.skipgraph.SkipGraph` *as it is emitted* (the
+  planning maths reads the graph mid-plan, so application must be eager) and
+  keeps the emitted sequence as the plan;
+* :func:`apply_ops` **replays** a recorded plan onto another graph — the
+  applier the property tests use to prove a plan is self-contained
+  (replaying ``result.ops`` on a copy of ``S_t`` reproduces ``S_{t+1}``)
+  and the distributed protocol
+  (:mod:`repro.distributed.dsg_protocol`) executes op by op;
+* the simulation bridge (:func:`repro.workloads.scenarios.apply_local_op`)
+  turns each op into per-level link rewiring of a live CONGEST network.
+
+Ops are plain tuples of ``O(1)`` words — a key, a level, a bit, or a short
+bit string — so a single op always fits in an ``O(log n)``-bit CONGEST
+message; :func:`op_to_payload` / :func:`op_from_payload` define that wire
+format and :func:`op_anchor` names the node that executes the op (for a
+dummy insertion, the dummy's base-list predecessor — the neighbour that
+creates it; every other op is executed by the node it names).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Hashable, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.node import SkipGraphNode
+from repro.skipgraph.skipgraph import SkipGraph
+
+__all__ = [
+    "DemoteOp",
+    "DummyInsertOp",
+    "DummyRemoveOp",
+    "LocalOp",
+    "NodeJoinOp",
+    "NodeLeaveOp",
+    "OpRecorder",
+    "PromoteOp",
+    "apply_op",
+    "apply_ops",
+    "op_anchor",
+    "op_from_payload",
+    "op_to_payload",
+]
+
+Key = Hashable
+Bits = Tuple[int, ...]
+
+
+class PromoteOp(NamedTuple):
+    """Assign the membership bit selecting the sublist at ``level`` (>= 1)."""
+
+    key: Key
+    level: int
+    bit: int
+
+
+class DemoteOp(NamedTuple):
+    """Truncate the membership vector to ``length`` bits."""
+
+    key: Key
+    length: int
+
+
+class DummyInsertOp(NamedTuple):
+    """Create the dummy node ``key`` with membership ``bits``."""
+
+    key: Key
+    bits: Bits
+
+
+class DummyRemoveOp(NamedTuple):
+    """Destroy the dummy node ``key``."""
+
+    key: Key
+
+
+class NodeJoinOp(NamedTuple):
+    """A peer with ``key`` joins with membership ``bits`` (Section IV-G)."""
+
+    key: Key
+    bits: Bits
+
+
+class NodeLeaveOp(NamedTuple):
+    """The peer with ``key`` departs (Section IV-G)."""
+
+    key: Key
+
+
+LocalOp = Union[PromoteOp, DemoteOp, DummyInsertOp, DummyRemoveOp, NodeJoinOp, NodeLeaveOp]
+
+
+# ------------------------------------------------------------------ applier
+def apply_op(graph: SkipGraph, op: LocalOp) -> None:
+    """Apply one local op to ``graph`` (caches are patched incrementally).
+
+    The semantics intentionally mirror what the planners do inline through
+    :class:`OpRecorder`, so replaying a recorded sequence on a copy of the
+    pre-plan graph reproduces the post-plan graph exactly.
+    """
+    if type(op) is PromoteOp:
+        graph.set_membership(op.key, graph.membership(op.key).with_bit(op.level, op.bit))
+    elif type(op) is DemoteOp:
+        membership = graph.membership(op.key)
+        if len(membership) > op.length:
+            graph.set_membership(op.key, membership.truncated(op.length))
+    elif type(op) is DummyInsertOp:
+        graph.add_node(
+            SkipGraphNode(key=op.key, membership=MembershipVector(op.bits), is_dummy=True)
+        )
+    elif type(op) is NodeJoinOp:
+        graph.add_node(SkipGraphNode(key=op.key, membership=MembershipVector(op.bits)))
+    elif type(op) is DummyRemoveOp or type(op) is NodeLeaveOp:
+        graph.remove_node(op.key)
+    else:
+        raise TypeError(f"unknown local op {op!r}")
+
+
+def apply_ops(graph: SkipGraph, ops: Sequence[LocalOp]) -> None:
+    """Replay a recorded op sequence onto ``graph``, in order.
+
+    Order matters: a demote must run before the promotes that re-grow the
+    vector, and a dummy insertion may name neighbours that a previous op put
+    in place.
+    """
+    for op in ops:
+        apply_op(graph, op)
+
+
+# ----------------------------------------------------------------- recorder
+class OpRecorder:
+    """Applies local ops to a graph eagerly while recording the sequence.
+
+    The planners interleave planning reads with structural writes (the next
+    split reads the lists the previous split produced), so the centralized
+    path cannot plan first and apply later; instead every write goes through
+    this recorder, which both mutates the graph and appends the op to
+    :attr:`ops` — making "the plan" a byproduct of the existing computation
+    at O(1) extra work per mutation, with cost accounting untouched.
+    """
+
+    __slots__ = ("graph", "ops")
+
+    def __init__(self, graph: SkipGraph, ops: Optional[List[LocalOp]] = None) -> None:
+        self.graph = graph
+        self.ops: List[LocalOp] = ops if ops is not None else []
+
+    def promote(self, key: Key, level: int, bit: int) -> None:
+        graph = self.graph
+        graph.set_membership(key, graph.membership(key).with_bit(level, bit))
+        self.ops.append(PromoteOp(key, level, bit))
+
+    def demote(self, key: Key, length: int) -> None:
+        membership = self.graph.membership(key)
+        if len(membership) > length:
+            self.graph.set_membership(key, membership.truncated(length))
+            self.ops.append(DemoteOp(key, length))
+
+    def insert_dummy(self, key: Key, bits: Bits) -> None:
+        self.graph.add_node(
+            SkipGraphNode(key=key, membership=MembershipVector(bits), is_dummy=True)
+        )
+        self.ops.append(DummyInsertOp(key, tuple(bits)))
+
+    def remove_dummy(self, key: Key) -> None:
+        self.graph.remove_node(key)
+        self.ops.append(DummyRemoveOp(key))
+
+    def join(self, key: Key, bits: Bits, payload=None) -> None:
+        self.graph.add_node(
+            SkipGraphNode(key=key, membership=MembershipVector(bits), payload=payload)
+        )
+        self.ops.append(NodeJoinOp(key, tuple(bits)))
+
+    def leave(self, key: Key) -> None:
+        self.graph.remove_node(key)
+        self.ops.append(NodeLeaveOp(key))
+
+
+# ---------------------------------------------------------------- wire form
+#: Numeric op tags used on the wire (one word each).
+_OP_TAGS = {
+    PromoteOp: 0,
+    DemoteOp: 1,
+    DummyInsertOp: 2,
+    DummyRemoveOp: 3,
+    NodeJoinOp: 4,
+    NodeLeaveOp: 5,
+}
+
+
+def _encode_bits(bits: Bits) -> Tuple[int, int]:
+    """Pack a membership bit string into ``(length, value)`` — two words.
+
+    A membership vector has ``O(log n)`` bits, so the packed value is one
+    ``O(log n)``-bit word; the explicit length keeps leading zero bits.
+    """
+    value = 0
+    for bit in bits:
+        value = (value << 1) | bit
+    return len(bits), value
+
+
+def _decode_bits(length: int, value: int) -> Bits:
+    return tuple((value >> (length - 1 - index)) & 1 for index in range(length))
+
+
+def op_to_payload(op: LocalOp) -> dict:
+    """The op as a flat, O(1)-word message payload (see the module docstring)."""
+    tag = _OP_TAGS[type(op)]
+    if type(op) is PromoteOp:
+        return {"t": tag, "k": op.key, "l": op.level, "b": op.bit}
+    if type(op) is DemoteOp:
+        return {"t": tag, "k": op.key, "l": op.length}
+    if type(op) in (DummyInsertOp, NodeJoinOp):
+        length, value = _encode_bits(op.bits)
+        return {"t": tag, "k": op.key, "l": length, "b": value}
+    return {"t": tag, "k": op.key}
+
+
+def op_from_payload(payload: dict) -> LocalOp:
+    """Inverse of :func:`op_to_payload`."""
+    tag = payload["t"]
+    key = payload["k"]
+    if tag == 0:
+        return PromoteOp(key, payload["l"], payload["b"])
+    if tag == 1:
+        return DemoteOp(key, payload["l"])
+    if tag == 2:
+        return DummyInsertOp(key, _decode_bits(payload["l"], payload["b"]))
+    if tag == 3:
+        return DummyRemoveOp(key)
+    if tag == 4:
+        return NodeJoinOp(key, _decode_bits(payload["l"], payload["b"]))
+    if tag == 5:
+        return NodeLeaveOp(key)
+    raise ValueError(f"unknown op tag {tag!r}")
+
+
+def op_anchor(op: LocalOp, graph: SkipGraph) -> Key:
+    """The node that executes ``op`` in the distributed protocol.
+
+    Promote/demote/leave are executed by the node they name; a dummy
+    destroys itself on notification (Section IV-F), so the dummy is its own
+    anchor; an *insertion* (dummy or joiner) is executed by the key's
+    base-list predecessor in ``graph`` — the neighbour that creates the new
+    node next to itself (falling back to the successor when the new key
+    would become the new minimum).
+    """
+    if type(op) in (DummyInsertOp, NodeJoinOp):
+        keys = graph.keys
+        if not keys:
+            raise ValueError("cannot anchor an insertion in an empty graph")
+        index = bisect_left(keys, op.key)
+        return keys[index - 1] if index > 0 else keys[0]
+    return op.key

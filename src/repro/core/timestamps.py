@@ -28,7 +28,7 @@ anything below the group-base afterwards, so this choice is conservative).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Set
+from typing import Hashable, List, Mapping, Sequence, Set
 
 from repro.core.state import DSGNodeState
 from repro.skipgraph.membership import MembershipVector, common_prefix_length

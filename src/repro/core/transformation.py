@@ -29,6 +29,15 @@ lists, and a constant for the chain detection.  Sibling sublists transform
 in parallel, so the transformation cost of a request is the *critical path*
 (max over children), while ``total_work_rounds`` accumulates everything for
 message-count analyses.
+
+Structurally, :func:`transform` is a *planner* over the local-operation
+kernel (:mod:`repro.core.local_ops`): every membership write and dummy
+insertion flows through an :class:`~repro.core.local_ops.OpRecorder`, and
+the emitted sequence (``TransformationOutcome.ops``) is a self-contained
+plan — replaying it with :func:`~repro.core.local_ops.apply_ops` on a copy
+of the pre-request graph reproduces the post-request graph, which is how
+the distributed protocol (:mod:`repro.distributed.dsg_protocol`) executes
+the same transformation as O(log n)-bit messages.
 """
 
 from __future__ import annotations
@@ -40,10 +49,9 @@ from typing import Dict, Hashable, List, Mapping, MutableMapping, Optional, Sequ
 
 from repro.core.amf import AMFResult, approximate_median, exact_median
 from repro.core.groups import assign_group_ids_after_split, find_straddled_group
+from repro.core.local_ops import LocalOp, OpRecorder
 from repro.core.priorities import COMMUNICATING_PRIORITY, recompute_priority_p4
 from repro.core.state import DSGNodeState
-from repro.skipgraph.membership import MembershipVector
-from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.skipgraph import SkipGraph
 from repro.skiplist.distributed_sum import distributed_sum
 
@@ -74,7 +82,15 @@ class SplitStep:
 
 @dataclass
 class TransformationOutcome:
-    """Aggregate result of one transformation."""
+    """Aggregate result of one transformation.
+
+    ``ops`` is the emitted local-operation plan (see
+    :mod:`repro.core.local_ops`).  When the caller passed its own
+    :class:`~repro.core.local_ops.OpRecorder` into :func:`transform` the
+    list is the recorder's full sequence — including any ops the caller
+    recorded before the transformation (the DSG front end records the
+    dummy self-destructions of ``l_alpha`` there first).
+    """
 
     rounds: int                      # critical-path rounds (parallel branches)
     total_work_rounds: int           # sum of the rounds of every split
@@ -84,6 +100,7 @@ class TransformationOutcome:
     split_levels: Dict[Key, List[int]]
     d_prime: int
     dummies_added: List[Key]
+    ops: List[LocalOp] = field(default_factory=list)
 
     @property
     def levels_rebuilt(self) -> int:
@@ -103,9 +120,17 @@ def transform(
     rng: random.Random,
     use_exact_median: bool = False,
     maintain_a_balance: bool = True,
+    recorder: Optional[OpRecorder] = None,
 ) -> TransformationOutcome:
-    """Transform the subtree rooted at ``l_alpha`` so that ``u``-``v`` become adjacent."""
+    """Transform the subtree rooted at ``l_alpha`` so that ``u``-``v`` become adjacent.
+
+    Every structural write goes through ``recorder`` (created over ``graph``
+    when not supplied), so the outcome carries the local-op plan alongside
+    the cost accounting.
+    """
     members = sorted(members)
+    if recorder is None:
+        recorder = OpRecorder(graph)
     outcome = TransformationOutcome(
         rounds=0,
         total_work_rounds=0,
@@ -115,15 +140,14 @@ def transform(
         split_levels={},
         d_prime=alpha,
         dummies_added=[],
+        ops=recorder.ops,
     )
 
     # The rebuilt subtree replaces whatever was below level ``alpha``: every
     # involved node forgets its deeper membership bits and re-acquires them
     # level by level ("finds their new and complete membership vectors").
     for key in members:
-        membership = graph.membership(key)
-        if len(membership) > alpha:
-            graph.set_membership(key, membership.truncated(alpha))
+        recorder.demote(key, alpha)
 
     if set(members) == {u, v}:
         outcome.d_prime = alpha
@@ -143,6 +167,7 @@ def transform(
         use_exact_median=use_exact_median,
         maintain_a_balance=maintain_a_balance,
         outcome=outcome,
+        recorder=recorder,
     )
     outcome.rounds = critical
     return outcome
@@ -164,6 +189,7 @@ def _split_recursive(
     use_exact_median: bool,
     maintain_a_balance: bool,
     outcome: TransformationOutcome,
+    recorder: OpRecorder,
 ) -> int:
     """Split ``members`` (a linked list at ``level - 1``) and recurse.
 
@@ -228,9 +254,9 @@ def _split_recursive(
 
     # ------------------------------------------------------------ apply bits
     for key in zero_list:
-        graph.set_membership(key, graph.membership(key).with_bit(level, 0))
+        recorder.promote(key, level, 0)
     for key in one_list:
-        graph.set_membership(key, graph.membership(key).with_bit(level, 1))
+        recorder.promote(key, level, 1)
 
     # Finding the new left/right neighbours costs at most ``a`` rounds thanks
     # to the a-balance property (Section IV-C).
@@ -263,7 +289,7 @@ def _split_recursive(
     # ------------------------------------------------------------ dummies
     dummies: List[Key] = []
     if maintain_a_balance:
-        dummies = _break_chains(graph, members, zero_list, one_list, level, a, rng, u, v)
+        dummies = _break_chains(graph, members, zero_list, one_list, level, a, rng, u, v, recorder)
         if dummies:
             step_rounds += CHAIN_CHECK_ROUNDS + DUMMY_PLACEMENT_ROUNDS
         else:
@@ -312,6 +338,7 @@ def _split_recursive(
                 use_exact_median=use_exact_median,
                 maintain_a_balance=maintain_a_balance,
                 outcome=outcome,
+                recorder=recorder,
             )
         )
     return step_rounds + (max(child_rounds) if child_rounds else 0)
@@ -484,6 +511,7 @@ def _break_chains(
     rng: random.Random,
     u: Key,
     v: Key,
+    recorder: OpRecorder,
 ) -> List[Key]:
     """Insert dummy nodes to break runs longer than ``a`` (Section IV-F).
 
@@ -541,8 +569,7 @@ def _break_chains(
             if dummy_key is None:
                 continue
             prefix = graph.membership(previous_key).prefix(level - 1)
-            membership = MembershipVector(prefix.bits + (1 - bit,))
-            graph.add_node(SkipGraphNode(key=dummy_key, membership=membership, is_dummy=True))
+            recorder.insert_dummy(dummy_key, prefix.bits + (1 - bit,))
             dummies.append(dummy_key)
             run_length = 1
     return dummies

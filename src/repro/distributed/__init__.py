@@ -23,6 +23,10 @@ Protocols
     Convergecast + broadcast over the balanced skip list (Appendix D).
 ``run_amf_protocol``
     The gather-sample-decide pipeline of AMF (Algorithm 2).
+``run_distributed_dsg`` / ``DistributedDSG``
+    The full self-adjusting DSG: greedy routing plus the local-op plans of
+    the kernel executed as O(log n)-bit messages, churn included
+    (:mod:`repro.distributed.dsg_protocol`).
 
 Each ``run_*`` entry point builds a fresh network and simulator; the
 matching ``install_*`` function registers a new process generation on an
@@ -49,6 +53,13 @@ from repro.distributed.routing_protocol import (
     skip_graph_network,
     trace_route,
 )
+from repro.distributed.dsg_protocol import (
+    DistributedDSG,
+    DistributedDSGReport,
+    DistributedRequestOutcome,
+    DSGProcess,
+    run_distributed_dsg,
+)
 from repro.distributed.broadcast_protocol import BroadcastResult, install_broadcast, run_list_broadcast
 from repro.distributed.sum_protocol import (
     SumProtocolResult,
@@ -61,6 +72,10 @@ from repro.distributed.amf_protocol import AMFProtocolResult, install_amf, run_a
 __all__ = [
     "AMFProtocolResult",
     "BroadcastResult",
+    "DSGProcess",
+    "DistributedDSG",
+    "DistributedDSGReport",
+    "DistributedRequestOutcome",
     "RoutingProtocolResult",
     "SumProtocolResult",
     "install_amf",
@@ -69,6 +84,7 @@ __all__ = [
     "install_sum",
     "make_router",
     "run_amf_protocol",
+    "run_distributed_dsg",
     "run_list_broadcast",
     "run_routing_protocol",
     "run_sum_protocol",

@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
-from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.simulation import Message, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.skiplist.balanced import BalancedSkipList
 from repro.distributed.sum_protocol import segment_tree
 

@@ -1,0 +1,446 @@
+"""Self-adjusting DSG as a message-passing protocol on the CONGEST simulator.
+
+This is the distributed execution of the local-operation kernel
+(:mod:`repro.core.local_ops`): the same restructuring plans the centralized
+:class:`~repro.core.dsg.DynamicSkipGraph` applies in one pass are carried
+out by per-node processes exchanging ``O(log n)``-bit messages over the
+skip-graph overlay, request by request:
+
+1. **Route** — the source's :class:`DSGProcess` forwards a ``route`` message
+   greedily towards the destination, one hop per round, exactly like the
+   multi-request router of :mod:`repro.distributed.routing_protocol`; the
+   hop count measured at the destination is the request's routing distance
+   ``d_{S_t}(σ_t)``.
+2. **Plan** — the request's local-op sequence comes from the *planner* (a
+   :class:`~repro.core.dsg.DynamicSkipGraph` over the same key population
+   and seed): the per-node decisions of Algorithm 1 — priorities, AMF
+   medians, group splits — whose round costs the plan already carries
+   (``transformation_rounds``, the ``ρ`` term of Equation 1).
+3. **Execute** — the source disseminates the ops as ``op`` messages, each a
+   flat payload of O(1) words (:func:`~repro.core.local_ops.op_to_payload`)
+   greedily routed to its anchor (:func:`~repro.core.local_ops.op_anchor`):
+   a node receiving a promote/demote rewrites its own membership bits, a
+   dummy receiving its destruction notice destroys itself (Section IV-F),
+   and an insertion is executed by the new key's base-list predecessor.
+   Outgoing traffic is flow-controlled per link (at most one send per
+   neighbour per round, the rest queued FIFO), so the protocol is
+   CONGEST-conformant *by construction* — zero congestion violations.
+4. **Rewire** — once the phase quiesces, each executed op drives per-level
+   link rewiring of the live network through
+   :func:`~repro.workloads.scenarios.apply_local_op` (the same bridge churn
+   replay uses), and the routing tables of the op's bounded neighbourhood
+   are refreshed.
+
+Churn (:class:`~repro.workloads.scenarios.JoinEvent` /
+:class:`~repro.workloads.scenarios.LeaveEvent`) follows the PR-3 bridge
+convention: the planner's Section IV-G plan (``last_churn_ops``) is applied
+structurally between requests — joins install fresh processes via the
+``install_*`` pattern, leaves retire them — so request traffic races a
+changing membership exactly like the other protocol arenas.
+
+The keystone guarantee, proven by ``tests/distributed/test_dsg_protocol.py``
+and asserted at 4096 nodes by ``benchmarks/bench_e14_distributed_dsg.py``:
+on the same request sequence (with or without churn) the distributed
+protocol reaches the **same topology** as the centralized
+``DynamicSkipGraph`` (op replay is exact) and charges the **same total
+cost** (the measured hop count equals the planner's routing distance for
+every request), with zero congestion violations and every message within
+the ``c * log2 n`` bit budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.local_ops import (
+    DemoteOp,
+    DummyInsertOp,
+    DummyRemoveOp,
+    LocalOp,
+    NodeJoinOp,
+    NodeLeaveOp,
+    PromoteOp,
+    op_anchor,
+    op_from_payload,
+    op_to_payload,
+)
+from repro.distributed.routing_protocol import NeighborTable, skip_graph_network
+from repro.simulation import Message, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.simulation.errors import SimulationError
+from repro.skipgraph.node import Key
+from repro.skipgraph.skipgraph import SkipGraph
+from repro.workloads.scenarios import (
+    JoinEvent,
+    LeaveEvent,
+    RequestEvent,
+    Scenario,
+    apply_local_op,
+)
+
+__all__ = [
+    "DSGProcess",
+    "DistributedDSG",
+    "DistributedDSGReport",
+    "DistributedRequestOutcome",
+    "run_distributed_dsg",
+]
+
+
+class DSGProcess(NodeProcess):
+    """One DSG peer: its membership bits and per-level neighbour links.
+
+    Local state is ``O(log n)`` words, as the model requires: the bit
+    vector, one (left, right) pair per level, and the flow-control queues.
+    The process is passive (``done``) unless it holds queued outgoing
+    messages; it is woken by message delivery otherwise.
+    """
+
+    def __init__(self, key: Key, graph: SkipGraph) -> None:
+        super().__init__(key)
+        self.table = NeighborTable(graph, key)
+        self.bits: Tuple[int, ...] = graph.membership(key).bits
+        self.is_dummy = graph.node(key).is_dummy
+        #: Per-link FIFO flow control: receiver -> queued (kind, payload).
+        self.outgoing: Dict[Key, Deque[Tuple[str, dict]]] = {}
+        #: Ops executed at this node (it was their anchor).
+        self.executed = 0
+        #: Dummy nodes this process created next to itself.
+        self.created_dummies = 0
+        #: Set when the node (a dummy) received its self-destruction notice.
+        self.destroyed = False
+        #: Hop count of the last route that terminated here.
+        self.route_hops: Optional[int] = None
+        self.routes_completed = 0
+        self.done = True
+
+    def memory_words(self) -> int:
+        queued = sum(len(bucket) for bucket in self.outgoing.values())
+        return 2 * len(self.table.levels) + len(self.bits) + 5 * queued + 6
+
+    # ------------------------------------------------------------ round hook
+    def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
+        for message in inbox:
+            payload = message.payload
+            if payload["to"] == self.node_id:
+                self._arrive(message.kind, payload)
+            else:
+                self._relay(message.kind, payload)
+        self._flush(ctx)
+
+    # ------------------------------------------------------------ initiation
+    def initiate_route(self, destination: Key) -> None:
+        """Start routing one request towards ``destination`` (driver hook)."""
+        self._relay("route", {"to": destination, "lvl": self.table.top_level, "hops": 0})
+        self.done = not self.outgoing
+
+    def initiate_ops(self, payloads: List[Tuple[Key, dict]]) -> None:
+        """Disseminate a request's op plan (driver hook).
+
+        ``payloads`` pairs each op's anchor with its wire payload; ops
+        anchored at this node execute immediately, the rest are greedily
+        routed, subject to the per-link flow control.
+        """
+        for anchor, payload in payloads:
+            if anchor == self.node_id:
+                self._arrive("op", payload)
+            else:
+                self._relay("op", {**payload, "lvl": self.table.top_level, "hops": 0})
+        self.done = not self.outgoing
+
+    # -------------------------------------------------------------- internals
+    def _arrive(self, kind: str, payload: dict) -> None:
+        if kind == "route":
+            self.routes_completed += 1
+            self.route_hops = payload["hops"]
+            self.result = "reached"
+            return
+        op = op_from_payload(payload)
+        self.executed += 1
+        if type(op) is PromoteOp:
+            bits = self.bits
+            if len(bits) < op.level:
+                bits = bits + (0,) * (op.level - len(bits))
+            self.bits = bits[: op.level - 1] + (op.bit,) + bits[op.level :]
+        elif type(op) is DemoteOp:
+            self.bits = self.bits[: op.length]
+        elif type(op) is DummyInsertOp:
+            self.created_dummies += 1
+        elif type(op) is DummyRemoveOp:
+            self.destroyed = True
+
+    def _relay(self, kind: str, payload: dict) -> None:
+        next_hop, used_level = self.table.next_hop(payload["to"], payload["lvl"])
+        if next_hop is None:  # pragma: no cover - consistent topologies never strand
+            self.result = ("stuck", payload["to"])
+            return
+        updated = dict(payload)
+        updated["lvl"] = used_level
+        updated["hops"] = payload["hops"] + 1
+        bucket = self.outgoing.get(next_hop)
+        if bucket is None:
+            bucket = self.outgoing[next_hop] = deque()
+        bucket.append((kind, updated))
+
+    def _flush(self, ctx: RoundContext) -> None:
+        """Send at most one queued message per neighbour link this round."""
+        drained = []
+        for receiver, bucket in self.outgoing.items():
+            kind, payload = bucket.popleft()
+            ctx.send(receiver, kind, payload)
+            if not bucket:
+                drained.append(receiver)
+        for receiver in drained:
+            del self.outgoing[receiver]
+        self.done = not self.outgoing
+
+
+@dataclass
+class DistributedRequestOutcome:
+    """One request served by the protocol, with the plan it executed.
+
+    ``measured_distance`` is the hop count observed at the destination
+    (minus the final hop), i.e. the number of intermediate nodes real
+    messages crossed; ``planned_distance`` is the planner's
+    ``d_{S_t}(σ_t)`` for the same request — the keystone property test
+    asserts they are equal on every request.
+    """
+
+    source: Key
+    destination: Key
+    alpha: int
+    measured_distance: int
+    planned_distance: int
+    transformation_rounds: int
+    ops_executed: int
+    rounds: int
+
+    @property
+    def cost(self) -> int:
+        """Equation 1 with the *measured* routing distance."""
+        return self.measured_distance + self.transformation_rounds + 1
+
+
+@dataclass
+class DistributedDSGReport:
+    """Aggregate outcome of one distributed DSG execution."""
+
+    requests: int
+    joins: int
+    leaves: int
+    total_cost: int
+    planner_total_cost: int
+    total_routing: int
+    rounds: int
+    messages: int
+    total_bits: int
+    max_message_bits: int
+    congestion_violations: int
+    dropped_messages: int
+    final_nodes: int
+    final_height: int
+    outcomes: List[DistributedRequestOutcome] = field(default_factory=list)
+
+    @property
+    def matches_planner(self) -> bool:
+        """Whether the protocol's total Equation 1 cost equals the planner's."""
+        return self.total_cost == self.planner_total_cost
+
+
+class DistributedDSG:
+    """Driver executing self-adjusting DSG on a live CONGEST simulator.
+
+    Owns the planner (a centralized :class:`~repro.core.dsg.DynamicSkipGraph`
+    used for the per-request decision maths), the executed topology mirror
+    (grown exclusively by applying the emitted ops), the network and the
+    per-node processes.  Requests are served sequentially — route phase,
+    then op dissemination, each run to quiescence — which is the paper's
+    one-request-at-a-time model; batching concurrent requests is a
+    ROADMAP follow-on.
+    """
+
+    def __init__(
+        self,
+        keys,
+        config: Optional[DSGConfig] = None,
+        seed: Optional[int] = None,
+        max_rounds: int = 200_000,
+        strict: bool = False,
+    ) -> None:
+        self.planner = DynamicSkipGraph(keys=keys, config=config)
+        #: Topology as executed: starts at S_0 and changes only via ops.
+        self.topology = self.planner.graph.copy()
+        self.sim = Simulator(
+            skip_graph_network(self.topology),
+            SimulatorConfig(
+                seed=seed,
+                strict_congest=strict,
+                strict_links=strict,
+                max_rounds=max_rounds,
+            ),
+        )
+        self.processes: Dict[Key, DSGProcess] = {}
+        for key in self.topology.keys:
+            self._install(key)
+        self.outcomes: List[DistributedRequestOutcome] = []
+        self.joins = 0
+        self.leaves = 0
+        self.total_cost = 0
+        self.total_routing = 0
+
+    # ------------------------------------------------------------------ serve
+    def request(self, source: Key, destination: Key) -> DistributedRequestOutcome:
+        """Serve one communication request: route, plan, execute, rewire."""
+        plan = self.planner.request(source, destination, keep_result=False)
+        first_round = self.sim.round
+
+        # Phase A: the route message crosses the pre-request topology S_t.
+        initiator = self.processes[source]
+        self.sim.schedule(self.sim.round, lambda sim: initiator.initiate_route(destination))
+        self.sim.run()
+        receiver = self.processes[destination]
+        hops = receiver.route_hops
+        receiver.route_hops = None
+        if hops is None:
+            raise SimulationError(
+                f"route ({source!r}, {destination!r}) never reached its destination"
+            )
+        measured = hops - 1
+
+        # Phase B: disseminate the plan as op messages, then rewire.
+        ops = plan.ops or []
+        if ops:
+            payloads = []
+            for op in ops:
+                anchor = op_anchor(op, self.topology)
+                payloads.append((anchor, {"to": anchor, **op_to_payload(op)}))
+            executed_before = self._executed_total()
+            self.sim.schedule(self.sim.round, lambda sim: initiator.initiate_ops(payloads))
+            self.sim.run()
+            executed = self._executed_total() - executed_before
+            if executed != len(ops):
+                raise SimulationError(
+                    f"op dissemination lost work: {executed}/{len(ops)} ops executed"
+                )
+            self._apply_ops(ops)
+
+        outcome = DistributedRequestOutcome(
+            source=source,
+            destination=destination,
+            alpha=plan.alpha,
+            measured_distance=measured,
+            planned_distance=plan.routing.distance,
+            transformation_rounds=plan.transformation_rounds,
+            ops_executed=len(ops),
+            rounds=self.sim.round - first_round,
+        )
+        self.outcomes.append(outcome)
+        self.total_cost += outcome.cost
+        self.total_routing += measured
+        return outcome
+
+    def join(self, key: Key) -> None:
+        """A peer joins (Section IV-G): structural churn between requests."""
+        self.planner.add_node(key)
+        self._apply_ops(self.planner.last_churn_ops)
+        self.joins += 1
+
+    def leave(self, key: Key) -> None:
+        """A peer departs (Section IV-G)."""
+        self.planner.remove_node(key)
+        self._apply_ops(self.planner.last_churn_ops)
+        self.leaves += 1
+
+    def run_scenario(self, scenario: Scenario) -> DistributedDSGReport:
+        """Serve a whole :class:`~repro.workloads.scenarios.Scenario`."""
+        for event in scenario.events:
+            if isinstance(event, RequestEvent):
+                self.request(event.source, event.destination)
+            elif isinstance(event, JoinEvent):
+                self.join(event.key)
+            elif isinstance(event, LeaveEvent):
+                self.leave(event.key)
+            else:  # pragma: no cover - the event union is closed
+                raise TypeError(f"unknown scenario event {event!r}")
+        return self.report()
+
+    # ----------------------------------------------------------------- report
+    def report(self) -> DistributedDSGReport:
+        metrics = self.sim.metrics
+        return DistributedDSGReport(
+            requests=len(self.outcomes),
+            joins=self.joins,
+            leaves=self.leaves,
+            total_cost=self.total_cost,
+            planner_total_cost=self.planner.total_cost(),
+            total_routing=self.total_routing,
+            rounds=metrics.rounds,
+            messages=metrics.total_messages,
+            total_bits=metrics.total_bits,
+            max_message_bits=metrics.max_message_bits,
+            congestion_violations=metrics.congestion_violations,
+            dropped_messages=metrics.dropped_messages,
+            final_nodes=len(self.topology.real_keys),
+            final_height=self.topology.height(),
+            outcomes=self.outcomes,
+        )
+
+    def topology_matches_planner(self) -> bool:
+        """Keystone check: op-executed topology == centralized topology."""
+        return self.topology.membership_table() == self.planner.graph.membership_table()
+
+    def network_matches_topology(self) -> bool:
+        """Invariant check: incrementally rewired links == rebuilt links."""
+        rebuilt = skip_graph_network(self.topology)
+        network = self.sim.network
+        if set(network.nodes) != set(rebuilt.nodes):
+            return False
+        edges = {frozenset(edge) for edge in network.edges()}
+        if edges != {frozenset(edge) for edge in rebuilt.edges()}:
+            return False
+        return all(network.labels(u, v) == rebuilt.labels(u, v) for u, v in rebuilt.edges())
+
+    # -------------------------------------------------------------- internals
+    def _install(self, key: Key) -> None:
+        process = DSGProcess(key, self.topology)
+        self.processes[key] = process
+        self.sim.add_process(process)
+
+    def _executed_total(self) -> int:
+        return sum(process.executed for process in self.processes.values())
+
+    def _apply_ops(self, ops: List[LocalOp]) -> None:
+        """Rewire topology, network, tables and the process population."""
+        affected = set()
+        arrivals: List[Key] = []
+        for op in ops:
+            if type(op) in (DummyInsertOp, NodeJoinOp):
+                arrivals.append(op.key)
+            elif type(op) in (DummyRemoveOp, NodeLeaveOp):
+                self.processes.pop(op.key, None)  # apply_local_op retires it
+            affected |= apply_local_op(self.sim, self.topology, op)
+        for key in affected:
+            process = self.processes.get(key)
+            if process is None or not self.topology.has_node(key):
+                continue
+            process.table = NeighborTable(self.topology, key)
+            # process.bits is deliberately NOT refreshed here: a node's bit
+            # vector evolves only through the op messages it receives, so
+            # the end-of-run equality with the topology is a genuine check
+            # of the message-driven execution.
+        for key in arrivals:
+            if self.topology.has_node(key) and key not in self.processes:
+                self._install(key)
+
+
+def run_distributed_dsg(
+    scenario: Scenario,
+    config: Optional[DSGConfig] = None,
+    seed: Optional[int] = None,
+    strict: bool = False,
+) -> DistributedDSGReport:
+    """Execute ``scenario`` end to end on a fresh :class:`DistributedDSG`."""
+    driver = DistributedDSG(scenario.initial_keys, config=config, seed=seed, strict=strict)
+    return driver.run_scenario(scenario)

@@ -28,13 +28,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 
 __all__ = [
+    "NeighborTable",
     "RoutingProtocolResult",
     "install_routing",
     "make_router",
@@ -67,8 +68,15 @@ class RoutingProtocolResult:
         return max(0, len(self.path) - 1)
 
 
-class _NeighborTable:
-    """Per-node neighbour table extracted from a skip graph snapshot."""
+class NeighborTable:
+    """Per-node neighbour table extracted from a skip graph snapshot.
+
+    Shared by the plain router and the DSG protocol
+    (:mod:`repro.distributed.dsg_protocol`): both forward greedily with
+    :meth:`next_hop`, so the Appendix B semantics live in exactly one
+    place — the distributed == centralized routing-distance guarantee
+    depends on it.
+    """
 
     def __init__(self, graph: SkipGraph, key: Key) -> None:
         self.key = key
@@ -100,7 +108,7 @@ class _RouterProcess(NodeProcess):
     outgoing messages; woken by message delivery otherwise.
     """
 
-    def __init__(self, key: Key, table: _NeighborTable, requests: Sequence[Key] = ()) -> None:
+    def __init__(self, key: Key, table: NeighborTable, requests: Sequence[Key] = ()) -> None:
         super().__init__(key)
         self.table = table
         self.requests: Deque[Key] = deque(requests)
@@ -200,7 +208,7 @@ def install_routing(
     requests = requests or {}
     processes: Dict[Key, _RouterProcess] = {}
     for key in graph.keys:
-        process = _RouterProcess(key, _NeighborTable(graph, key), requests.get(key, ()))
+        process = _RouterProcess(key, NeighborTable(graph, key), requests.get(key, ()))
         processes[key] = process
         simulator.add_process(process)
     return processes
@@ -213,7 +221,7 @@ def make_router(graph: SkipGraph, key: Key, requests: Sequence[Key] = ()) -> _Ro
     :func:`~repro.workloads.scenarios.replay_scenario` so joining nodes can
     route as soon as their initialization round has run.
     """
-    return _RouterProcess(key, _NeighborTable(graph, key), requests)
+    return _RouterProcess(key, NeighborTable(graph, key), requests)
 
 
 def trace_route(processes: Mapping[Key, _RouterProcess], source: Key, destination: Key) -> List[Key]:

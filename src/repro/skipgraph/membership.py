@@ -15,7 +15,7 @@ prefix ``m[:d]``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple, Union
+from typing import Iterator, Sequence, Tuple, Union
 
 __all__ = ["MembershipVector", "common_prefix_length"]
 

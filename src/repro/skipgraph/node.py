@@ -10,7 +10,7 @@ destroyed when they receive a transformation notification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.skipgraph.membership import MembershipVector
 

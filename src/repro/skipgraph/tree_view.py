@@ -11,7 +11,7 @@ paper's figures in the examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.skipgraph.node import Key

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    CompetitiveReport,
     CostSummary,
     Table,
     competitive_report,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.amf import AMFResult, approximate_median, exact_median, rank_interval
+from repro.core.amf import approximate_median, exact_median, rank_interval
 from repro.simulation.rng import make_rng
 
 

@@ -1,6 +1,5 @@
 """Tests for DSG node state, priority rules P1-P4 and group management."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.dsg import DSGConfig, DynamicSkipGraph
 from repro.core.state import DSGNodeState

@@ -1,0 +1,164 @@
+"""Property tests for the distributed DSG protocol (repro.distributed.dsg_protocol).
+
+The keystone guarantee of the local-op kernel refactor: on the same
+request sequence — with and without churn — the message-passing protocol
+reaches the **same topology** and charges the **same total cost** as the
+centralized :class:`~repro.core.dsg.DynamicSkipGraph`, with zero CONGEST
+violations and every message within the ``c * log2 n`` bit budget.
+"""
+
+import math
+
+import pytest
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.distributed import DistributedDSG, run_distributed_dsg, skip_graph_network
+from repro.simulation.message import congest_budget_bits
+from repro.workloads import churn_scenario, scenario_requests, workload_scenario
+
+
+def _assert_matches_centralized(driver, report):
+    assert driver.topology_matches_planner()
+    assert driver.network_matches_topology()
+    for outcome in report.outcomes:
+        assert outcome.measured_distance == outcome.planned_distance, (
+            outcome.source,
+            outcome.destination,
+        )
+    assert report.matches_planner
+    assert report.congestion_violations == 0
+    assert report.dropped_messages == 0
+
+
+class TestDistributedMatchesCentralized:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_without_churn(self, seed):
+        keys = list(range(1, 33))
+        scenario = workload_scenario("temporal", keys, 50, seed=seed, working_set_size=6)
+        driver = DistributedDSG(keys, config=DSGConfig(seed=seed), seed=1, strict=True)
+        report = driver.run_scenario(scenario)
+        assert report.requests == 50
+        _assert_matches_centralized(driver, report)
+
+        # The same schedule on a stand-alone centralized instance lands on
+        # the identical topology and total cost (the planner is not special).
+        reference = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed))
+        for u, v in scenario_requests(scenario):
+            reference.request(u, v, keep_result=False)
+        assert reference.graph.membership_table() == driver.topology.membership_table()
+        assert reference.total_cost() == report.total_cost
+
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_with_churn(self, seed):
+        scenario = churn_scenario(
+            n=32, length=70, seed=seed, churn_rate=0.12, base="temporal", working_set_size=6
+        )
+        assert scenario.join_count > 0 and scenario.leave_count > 0
+        driver = DistributedDSG(
+            scenario.initial_keys, config=DSGConfig(seed=seed), seed=2, strict=True
+        )
+        report = driver.run_scenario(scenario)
+        assert report.joins == scenario.join_count
+        assert report.leaves == scenario.leave_count
+        assert report.final_nodes == 32 + report.joins - report.leaves
+        _assert_matches_centralized(driver, report)
+
+    def test_membership_bits_are_message_driven(self):
+        """Every surviving process ends with the topology's bit vector while
+        the driver never pushes bits — only op arrivals rewrite them."""
+        scenario = churn_scenario(
+            n=24, length=50, seed=5, churn_rate=0.1, base="temporal", working_set_size=5
+        )
+        driver = DistributedDSG(
+            scenario.initial_keys, config=DSGConfig(seed=5), seed=3, strict=True
+        )
+        driver.run_scenario(scenario)
+        for key, process in driver.processes.items():
+            assert process.bits == driver.topology.membership(key).bits, key
+
+    def test_repeated_request_costs_one_round_trip(self):
+        """The steady state survives the wire: a repeated pair routes over
+        zero intermediate nodes, exactly like the centralized fast path."""
+        driver = DistributedDSG(range(1, 33), config=DSGConfig(seed=4), seed=1, strict=True)
+        first = driver.request(5, 21)
+        second = driver.request(5, 21)
+        assert second.measured_distance == 0
+        assert second.cost < first.cost
+
+
+class TestCongestConformance:
+    def test_budget_and_violation_counters(self):
+        """In lenient mode the counters agree with strict mode's silence:
+        zero violations, zero drops, all messages within c * log2 n bits."""
+        scenario = churn_scenario(
+            n=32, length=60, seed=13, churn_rate=0.1, base="temporal", working_set_size=6
+        )
+        report = run_distributed_dsg(scenario, config=DSGConfig(seed=13), seed=4, strict=False)
+        assert report.congestion_violations == 0
+        assert report.dropped_messages == 0
+        assert report.max_message_bits <= congest_budget_bits(32)
+        assert report.messages > 0 and report.total_bits > 0
+
+    def test_quiescent_memory_is_logarithmic(self):
+        """Once drained, each process holds O(log n) words: neighbour table,
+        bit vector and constants — no queue residue."""
+        n = 64
+        driver = DistributedDSG(range(1, n + 1), config=DSGConfig(seed=8), seed=1, strict=True)
+        for u, v in [(3, 60), (17, 44), (3, 60)]:
+            driver.request(u, v)
+        bound = 8 * math.ceil(math.log2(n)) + 16
+        for process in driver.processes.values():
+            assert not process.outgoing
+            assert process.memory_words() <= bound
+
+    def test_rounds_cover_route_and_dissemination(self):
+        driver = DistributedDSG(range(1, 17), config=DSGConfig(seed=2), seed=1, strict=True)
+        outcome = driver.request(1, 16)
+        # At least one round per routing hop and one per dissemination wave.
+        assert outcome.rounds >= outcome.measured_distance + 1
+        assert outcome.ops_executed > 0  # a first contact always restructures
+
+
+class TestDriverLifecycle:
+    def test_dummy_processes_are_installed_and_destroyed(self):
+        """Dummies created by plans get processes (they relay and destroy
+        themselves on notification); removed dummies leave the population."""
+        scenario = churn_scenario(
+            n=32, length=80, seed=23, churn_rate=0.15, base="temporal", working_set_size=6
+        )
+        driver = DistributedDSG(
+            scenario.initial_keys, config=DSGConfig(seed=23), seed=5, strict=True
+        )
+        driver.run_scenario(scenario)
+        # The process population tracks the executed topology exactly
+        # (real nodes and surviving dummies alike).
+        assert set(driver.processes) == set(driver.topology.keys)
+        assert set(driver.topology.dummy_keys()) == set(driver.planner.graph.dummy_keys())
+        # Only dummies receive self-destruction notices, and any dummy a
+        # *request plan* destroyed had flagged itself before retirement.
+        destroyed = [
+            process for process in driver.sim.retired.values()
+            if getattr(process, "destroyed", False)
+        ]
+        assert all(process.is_dummy for process in destroyed)
+
+    def test_join_installs_a_routable_process(self):
+        driver = DistributedDSG(range(1, 17), config=DSGConfig(seed=6), seed=1, strict=True)
+        driver.join(100)
+        assert 100 in driver.processes
+        outcome = driver.request(1, 100)
+        assert outcome.measured_distance == outcome.planned_distance
+
+    def test_leave_retires_the_process(self):
+        driver = DistributedDSG(range(1, 17), config=DSGConfig(seed=6), seed=1, strict=True)
+        driver.leave(9)
+        assert 9 not in driver.processes
+        assert 9 in driver.sim.retired
+        assert not driver.sim.network.has_node(9)
+
+    def test_network_starts_as_rebuilt(self):
+        driver = DistributedDSG(range(1, 33), config=DSGConfig(seed=1), seed=1)
+        rebuilt = skip_graph_network(driver.topology)
+        assert {frozenset(e) for e in driver.sim.network.edges()} == {
+            frozenset(e) for e in rebuilt.edges()
+        }

@@ -1,0 +1,29 @@
+"""Smoke tests: every script in ``examples/`` runs end to end.
+
+Each example is executed in-process (``runpy`` with ``__main__`` semantics)
+under ``EXAMPLES_QUICK=1``, the reduced-parameter shape the scripts expose
+for CI — the same crash-gate philosophy as the ``BENCH_QUICK`` benchmark
+job: the output numbers are the scripts' business, the gate is that every
+example keeps working against the current API.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5, f"expected the example gallery in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_to_completion(script, monkeypatch, capsys):
+    monkeypatch.setenv("EXAMPLES_QUICK", "1")
+    runpy.run_path(str(script), run_name="__main__")
+    # Every example prints a human-readable report; an empty stdout means
+    # the script silently did nothing, which should fail the gate too.
+    assert capsys.readouterr().out.strip()

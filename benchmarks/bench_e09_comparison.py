@@ -29,6 +29,7 @@ from conftest import artifact_dir, experiment_params, publish_artifact, quick_mo
 from repro.analysis.artifacts import (
     AlgorithmResult,
     BenchmarkArtifact,
+    PlanSizeStats,
     render_comparison,
 )
 from repro.baselines import make_comparison_algorithms
@@ -117,12 +118,20 @@ def test_e09_scale_comparison(run_once):
         ),
     }
 
+    # Plan-size distribution (DSG only): the per-request local-op plans the
+    # kernel emitted while serving this schedule — the locality claim row.
+    dsg_algorithm = next(algorithm for algorithm in algorithms if algorithm.name == "dsg")
+    plan_rows = [
+        PlanSizeStats.from_histogram("scale-mix", dsg_algorithm.plan_size_histogram())
+    ]
+
     artifact = BenchmarkArtifact(
         benchmark="e09_comparison",
         config=dict(SCENARIO_PARAMS, quick=quick_mode()),
         wall_seconds=sum(report.elapsed_seconds for report in reports),
         working_set_bound=ws_bound,
         algorithms=results,
+        plan_sizes=plan_rows,
         checks=checks,
     )
     out_dir = Path(artifact_dir())

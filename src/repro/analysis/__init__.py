@@ -22,6 +22,7 @@ from repro.analysis.tables import Table, render_table, to_csv
 from repro.analysis.artifacts import (
     AlgorithmResult,
     BenchmarkArtifact,
+    PlanSizeStats,
     load_artifact,
     load_artifacts,
     render_comparison,
@@ -33,6 +34,7 @@ __all__ = [
     "BenchmarkArtifact",
     "CompetitiveReport",
     "CostSummary",
+    "PlanSizeStats",
     "Table",
     "competitive_report",
     "describe",

@@ -20,13 +20,19 @@ can archive them and humans can diff them across commits:
   results and check outcomes.  Serialised to ``BENCH_<name>.json`` by
   :func:`write_artifact` and read back by :func:`load_artifact` /
   :func:`load_artifacts`.
+* :class:`PlanSizeStats` — the distribution of local-operation plan sizes
+  (``RequestResult.ops``) DSG emitted for one workload: percentiles of how
+  many ops a request's restructuring took.  This is the empirical face of
+  the paper's locality claim — under steady skewed traffic most requests
+  emit tiny (often empty) plans.  Emitted by ``bench_e09_comparison`` and
+  ``bench_e15_100k``.
 * :func:`render_comparison` — a cross-algorithm markdown report over one or
   more artifacts (what ``dsg-experiments compare`` prints).
 
 The JSON schema is flat and versioned (``schema_version``); artifacts are
 self-describing so the ``compare`` CLI needs nothing but the files.
-Version 2 added the ``protocols`` section; version-1 files load as
-artifacts without protocol rows.
+Version 2 added the ``protocols`` section, version 3 the ``plan_sizes``
+section; older files load as artifacts without the newer rows.
 """
 
 from __future__ import annotations
@@ -34,11 +40,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 __all__ = [
     "AlgorithmResult",
     "BenchmarkArtifact",
+    "PlanSizeStats",
     "ProtocolResult",
     "load_artifact",
     "load_artifacts",
@@ -46,7 +53,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -154,6 +161,60 @@ class ProtocolResult:
 
 
 @dataclass
+class PlanSizeStats:
+    """Distribution of restructuring-plan sizes over one workload.
+
+    Computed from the O(1)-per-request histogram DSG maintains
+    (:meth:`~repro.core.dsg.DynamicSkipGraph.plan_size_histogram`): one row
+    summarises how many local ops (:mod:`repro.core.local_ops`) each
+    request's plan carried.  ``empty_fraction`` is the share of requests
+    that restructured nothing beyond the already-adjacent pair — the
+    steady-state regime the working set property predicts.
+    """
+
+    workload: str
+    requests: int
+    mean_ops: float
+    p50_ops: int
+    p90_ops: int
+    p99_ops: int
+    max_ops: int
+    empty_fraction: float
+
+    @classmethod
+    def from_histogram(cls, workload: str, histogram: Mapping[int, int]) -> "PlanSizeStats":
+        """Summarise a ``plan size -> request count`` histogram."""
+        total = sum(histogram.values())
+        if not total:
+            return cls(
+                workload=workload, requests=0, mean_ops=0.0,
+                p50_ops=0, p90_ops=0, p99_ops=0, max_ops=0, empty_fraction=0.0,
+            )
+        sizes = sorted(histogram)
+        weighted = sum(size * count for size, count in histogram.items())
+
+        def percentile(fraction: float) -> int:
+            threshold = fraction * total
+            cumulative = 0
+            for size in sizes:
+                cumulative += histogram[size]
+                if cumulative >= threshold:
+                    return size
+            return sizes[-1]
+
+        return cls(
+            workload=workload,
+            requests=total,
+            mean_ops=weighted / total,
+            p50_ops=percentile(0.50),
+            p90_ops=percentile(0.90),
+            p99_ops=percentile(0.99),
+            max_ops=sizes[-1],
+            empty_fraction=histogram.get(0, 0) / total,
+        )
+
+
+@dataclass
 class BenchmarkArtifact:
     """One benchmark run: config, timings, per-algorithm/protocol results, checks."""
 
@@ -163,6 +224,7 @@ class BenchmarkArtifact:
     working_set_bound: Optional[float] = None
     algorithms: List[AlgorithmResult] = field(default_factory=list)
     protocols: List[ProtocolResult] = field(default_factory=list)
+    plan_sizes: List[PlanSizeStats] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -214,6 +276,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
         )
     algorithms = [AlgorithmResult(**entry) for entry in data.get("algorithms", [])]
     protocols = [ProtocolResult(**entry) for entry in data.get("protocols", [])]
+    plan_sizes = [PlanSizeStats(**entry) for entry in data.get("plan_sizes", [])]
     return BenchmarkArtifact(
         benchmark=data["benchmark"],
         config=data.get("config", {}),
@@ -221,6 +284,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
         working_set_bound=data.get("working_set_bound"),
         algorithms=algorithms,
         protocols=protocols,
+        plan_sizes=plan_sizes,
         checks=data.get("checks", {}),
         schema_version=version,
     )
@@ -292,6 +356,19 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
                     f"| {result.name} | {result.n} | {result.rounds} | {result.messages} "
                     f"| {result.max_message_bits} | {result.budget_bits} "
                     f"| {result.congestion_violations} | {result.dropped_messages} | {churn} |"
+                )
+            lines.append("")
+        if artifact.plan_sizes:
+            lines.append(
+                "| plan sizes (workload) | requests | mean ops | p50 | p90 | p99 | max "
+                "| empty plans |"
+            )
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|")
+            for stats in artifact.plan_sizes:
+                lines.append(
+                    f"| {stats.workload} | {stats.requests} | {_format(stats.mean_ops)} "
+                    f"| {stats.p50_ops} | {stats.p90_ops} | {stats.p99_ops} | {stats.max_ops} "
+                    f"| {stats.empty_fraction * 100:.1f}% |"
                 )
             lines.append("")
         if artifact.checks:

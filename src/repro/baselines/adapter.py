@@ -125,6 +125,14 @@ class ServingAlgorithm:
         """Auxiliary nodes currently held (DSG's a-balance dummies)."""
         return 0
 
+    def plan_size_histogram(self) -> dict:
+        """Distribution of restructuring-plan sizes (``len(ops) -> count``).
+
+        Only DSG emits local-op plans; every other algorithm reports an
+        empty histogram, which the artifact pipeline skips.
+        """
+        return {}
+
     # -------------------------------------------------------------- serving
     def request(self, source: Key, destination: Key) -> RequestCost:
         """Serve one request; fold its cost into the lifetime counters."""
@@ -255,6 +263,9 @@ class DSGAdapter(ServingAlgorithm):
 
     def dummy_count(self) -> int:
         return self.dsg.dummy_count()
+
+    def plan_size_histogram(self) -> dict:
+        return self.dsg.plan_size_histogram()
 
 
 def make_comparison_algorithms(

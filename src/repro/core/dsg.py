@@ -43,8 +43,13 @@ from repro.core.timestamps import TimestampContext, apply_timestamp_rules
 from repro.core.transformation import transform
 from repro.core.working_set import CommunicationHistory
 from repro.simulation.rng import make_rng
-from repro.skipgraph.balance import a_balance_violations
-from repro.skipgraph.build import build_balanced_skip_graph, build_skip_graph, draw_membership_bits
+from repro.skipgraph.balance import BalanceTracker, a_balance_violations
+from repro.skipgraph.build import (
+    build_balanced_skip_graph,
+    build_skip_graph,
+    draw_membership_bits,
+    draw_membership_bits_reference,
+)
 from repro.skipgraph.membership import MembershipVector
 from repro.skipgraph.routing import RoutingResult, route
 from repro.skipgraph.skipgraph import SkipGraph
@@ -78,6 +83,14 @@ class DSGConfig:
     initial_topology:
         ``"balanced"`` (default) or ``"random"`` membership vectors for the
         starting skip graph.
+    use_reference_scans:
+        Run the churn path on the seed O(n)-scan implementations
+        (:func:`~repro.skipgraph.build.draw_membership_bits_reference` for
+        join bits, a full :func:`~repro.skipgraph.balance.a_balance_violations`
+        rescan per cascade round of :meth:`DynamicSkipGraph.restore_a_balance`)
+        instead of the incremental indexes.  Slow — exists so the
+        equivalence benchmarks can replay one schedule on both paths and
+        assert identical costs, topology and dummy placement.
     """
 
     a: int = 4
@@ -87,6 +100,7 @@ class DSGConfig:
     adjust: bool = True
     track_working_set: bool = True
     initial_topology: str = "balanced"
+    use_reference_scans: bool = False
 
 
 @dataclass
@@ -200,13 +214,24 @@ class DynamicSkipGraph:
             self.states[key] = state
 
         self._time = 0
-        self.history = CommunicationHistory(total_nodes=len(self.graph.real_keys))
+        self.history = CommunicationHistory(total_nodes=self.graph.real_count)
         #: Local-op plan of the most recent :meth:`add_node` / :meth:`remove_node`.
         self.last_churn_ops: List[LocalOp] = []
         self.results: List[RequestResult] = []
         self._served = 0
         self._total_cost = 0
         self._total_routing_cost = 0
+        #: Incremental a-balance dirty marks, fed by every recorder this
+        #: instance creates; ``None`` on the reference-scan replay path and
+        #: when a-balance is not maintained (nothing would ever consume the
+        #: marks, so feeding them would only accumulate memory).
+        self.balance_tracker: Optional[BalanceTracker] = (
+            None
+            if self.config.use_reference_scans or not self.config.maintain_a_balance
+            else BalanceTracker()
+        )
+        #: Request-plan size distribution: ``len(result.ops) -> requests``.
+        self._plan_size_hist: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ misc
     @staticmethod
@@ -224,7 +249,7 @@ class DynamicSkipGraph:
 
     @property
     def n(self) -> int:
-        return len(self.graph.real_keys)
+        return self.graph.real_count
 
     def height(self) -> int:
         return self.graph.height()
@@ -376,7 +401,7 @@ class DynamicSkipGraph:
         on ``result.ops``.
         """
         graph = self.graph
-        recorder = OpRecorder(graph)
+        recorder = OpRecorder(graph, tracker=self.balance_tracker)
         result.ops = recorder.ops
         alpha = graph.common_level(u, v)
         result.alpha = alpha
@@ -501,6 +526,8 @@ class DynamicSkipGraph:
         result.levels_rebuilt = outcome.levels_rebuilt
         result.d_prime = outcome.d_prime
         result.dummies_added = len(outcome.dummies_added)
+        plan_size = len(recorder.ops)
+        self._plan_size_hist[plan_size] = self._plan_size_hist.get(plan_size, 0) + 1
 
     def run_sequence(self, requests: Sequence[Tuple[Key, Key]]) -> List[RequestResult]:
         """Serve every request of ``requests`` in order.
@@ -518,17 +545,27 @@ class DynamicSkipGraph:
         forced) is recorded as a local-op plan on :attr:`last_churn_ops` —
         the same contract request plans follow (``RequestResult.ops``), and
         what the distributed protocol replays for churn events.
+
+        Membership bits come from the indexed
+        :func:`~repro.skipgraph.build.draw_membership_bits` (O(height) per
+        draw) unless ``config.use_reference_scans`` selects the seed O(n)
+        scan; both emit the identical bit stream for a given RNG.
         """
         self._check_keys([key])
         if self.graph.has_node(key):
             raise ValueError(f"key {key!r} already present")
-        recorder = OpRecorder(self.graph)
-        bits = draw_membership_bits(self.graph, key, self._rng)
+        recorder = OpRecorder(self.graph, tracker=self.balance_tracker)
+        draw = (
+            draw_membership_bits_reference
+            if self.config.use_reference_scans
+            else draw_membership_bits
+        )
+        bits = draw(self.graph, key, self._rng)
         recorder.join(key, bits, payload=payload)
         state = DSGNodeState(key=key)
         state.group_base = initial_group_base(self.graph.singleton_level(key))
         self.states[key] = state
-        self.history.total_nodes = len(self.graph.real_keys)
+        self.history.total_nodes = self.graph.real_count
         if self.config.maintain_a_balance:
             self.restore_a_balance(recorder)
         self.last_churn_ops = recorder.ops
@@ -539,10 +576,10 @@ class DynamicSkipGraph:
             raise KeyError(f"no node with key {key!r}")
         if self.graph.node(key).is_dummy:
             raise ValueError("dummy nodes are managed internally")
-        recorder = OpRecorder(self.graph)
+        recorder = OpRecorder(self.graph, tracker=self.balance_tracker)
         recorder.leave(key)
         self.states.pop(key, None)
-        self.history.total_nodes = len(self.graph.real_keys)
+        self.history.total_nodes = self.graph.real_count
         if self.config.maintain_a_balance:
             self.restore_a_balance(recorder)
         self.last_churn_ops = recorder.ops
@@ -559,14 +596,36 @@ class DynamicSkipGraph:
         Every violation reported by one scan is repaired before rescanning:
         the runs of a scan are disjoint, so their repairs are independent,
         and a dummy can only create *new* runs in ancestor lists — which the
-        next scan round picks up.  This keeps the number of O(n * height)
-        scans proportional to the cascade depth instead of the dummy count.
+        next scan round picks up.  This keeps the number of scan rounds
+        proportional to the cascade depth instead of the dummy count.
+
+        Each round's violations come from :attr:`balance_tracker` — only
+        the lists dirtied since the last consumption are rescanned, in the
+        full-rescan order, so repairs (and their RNG draws) are identical
+        to the ``use_reference_scans`` path, which rescans the whole graph
+        every round.  A violation whose dummy key could not be placed has
+        its list re-marked whole, so the next churn event retries it
+        exactly like a full rescan would.  A caller-supplied ``recorder``
+        that does not carry :attr:`balance_tracker` forces this call onto
+        full rescans (its ops never produced dirty marks) and invalidates
+        the tracker for the calls that follow.
         """
+        tracker = self.balance_tracker
         if recorder is None:
-            recorder = OpRecorder(self.graph)
+            recorder = OpRecorder(self.graph, tracker=tracker)
+        elif tracker is not None and recorder.tracker is not tracker:
+            # A caller-supplied recorder bypassed this instance's tracker, so
+            # the dirty marks cannot be trusted to cover the caller's ops:
+            # run this call on full rescans (the pre-tracker contract) and
+            # invalidate the tracker so later incremental calls start fresh.
+            tracker.mark_all()
+            tracker = None
         inserted = 0
         for _ in range(2 * len(self.graph) + 1):
-            violations = a_balance_violations(self.graph, self.config.a)
+            if tracker is None:
+                violations = a_balance_violations(self.graph, self.config.a)
+            else:
+                violations = tracker.violations(self.graph, self.config.a)
             if not violations:
                 break
             progressed = False
@@ -575,6 +634,8 @@ class DynamicSkipGraph:
                 lower, upper = run[self.config.a - 1], run[self.config.a]
                 dummy_key = self._dummy_key_between(lower, upper)
                 if dummy_key is None:
+                    if tracker is not None:
+                        tracker.mark_list(violation.level, violation.prefix)
                     continue
                 prefix = self.graph.membership(lower).prefix(violation.level)
                 recorder.insert_dummy(dummy_key, prefix.bits + (1 - violation.bit,))
@@ -624,7 +685,17 @@ class DynamicSkipGraph:
         return self.history.working_set_bound()
 
     def dummy_count(self) -> int:
-        return len(self.graph.dummy_keys())
+        return self.graph.dummy_node_count
+
+    def plan_size_histogram(self) -> Dict[int, int]:
+        """Distribution of request-plan sizes: ``len(ops) -> request count``.
+
+        Maintained as an O(1)-per-request running histogram (it survives
+        ``keep_results=False`` batches), so the artifact pipeline can report
+        per-workload plan-size percentiles — the empirical face of the
+        paper's locality claim (most requests emit tiny plans).
+        """
+        return dict(self._plan_size_hist)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

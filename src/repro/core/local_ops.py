@@ -46,11 +46,14 @@ creates it; every other op is executed by the node it names).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Hashable, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Hashable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.skipgraph.membership import MembershipVector
 from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.skipgraph import SkipGraph
+
+if TYPE_CHECKING:  # import-free at runtime: balance.py must stay core-agnostic
+    from repro.skipgraph.balance import BalanceTracker
 
 __all__ = [
     "DemoteOp",
@@ -117,26 +120,43 @@ LocalOp = Union[PromoteOp, DemoteOp, DummyInsertOp, DummyRemoveOp, NodeJoinOp, N
 
 
 # ------------------------------------------------------------------ applier
-def apply_op(graph: SkipGraph, op: LocalOp) -> None:
+def apply_op(graph: SkipGraph, op: LocalOp, tracker: Optional["BalanceTracker"] = None) -> None:
     """Apply one local op to ``graph`` (caches are patched incrementally).
 
     The semantics intentionally mirror what the planners do inline through
     :class:`OpRecorder`, so replaying a recorded sequence on a copy of the
     pre-plan graph reproduces the post-plan graph exactly.
+
+    ``tracker`` (a :class:`~repro.skipgraph.balance.BalanceTracker`) is
+    notified *before* the mutation — the dirty marks for a departure need
+    the pre-departure membership vector — which is how the incremental
+    a-balance machinery on the churn path learns which lists an op touched.
     """
     if type(op) is PromoteOp:
-        graph.set_membership(op.key, graph.membership(op.key).with_bit(op.level, op.bit))
+        old = graph.membership(op.key)
+        new = old.with_bit(op.level, op.bit)
+        if tracker is not None:
+            tracker.mark_rewrite(op.key, old.bits, new.bits)
+        graph.set_membership(op.key, new)
     elif type(op) is DemoteOp:
         membership = graph.membership(op.key)
         if len(membership) > op.length:
+            if tracker is not None:
+                tracker.mark_rewrite(op.key, membership.bits, membership.bits[: op.length])
             graph.set_membership(op.key, membership.truncated(op.length))
     elif type(op) is DummyInsertOp:
+        if tracker is not None:
+            tracker.mark_insert(op.key, op.bits)
         graph.add_node(
             SkipGraphNode(key=op.key, membership=MembershipVector(op.bits), is_dummy=True)
         )
     elif type(op) is NodeJoinOp:
+        if tracker is not None:
+            tracker.mark_insert(op.key, op.bits)
         graph.add_node(SkipGraphNode(key=op.key, membership=MembershipVector(op.bits)))
     elif type(op) is DummyRemoveOp or type(op) is NodeLeaveOp:
+        if tracker is not None:
+            tracker.mark_remove(graph, op.key)
         graph.remove_node(op.key)
     else:
         raise TypeError(f"unknown local op {op!r}")
@@ -163,44 +183,55 @@ class OpRecorder:
     this recorder, which both mutates the graph and appends the op to
     :attr:`ops` — making "the plan" a byproduct of the existing computation
     at O(1) extra work per mutation, with cost accounting untouched.
+
+    An attached ``tracker`` (see :func:`apply_op`) receives every op before
+    it lands, feeding the incremental a-balance dirty marks; the DSG front
+    end threads its per-instance tracker through every recorder it creates.
     """
 
-    __slots__ = ("graph", "ops")
+    __slots__ = ("graph", "ops", "tracker")
 
-    def __init__(self, graph: SkipGraph, ops: Optional[List[LocalOp]] = None) -> None:
+    def __init__(
+        self,
+        graph: SkipGraph,
+        ops: Optional[List[LocalOp]] = None,
+        tracker: Optional["BalanceTracker"] = None,
+    ) -> None:
         self.graph = graph
         self.ops: List[LocalOp] = ops if ops is not None else []
+        self.tracker = tracker
+
+    def _record(self, op: LocalOp) -> None:
+        apply_op(self.graph, op, self.tracker)
+        self.ops.append(op)
 
     def promote(self, key: Key, level: int, bit: int) -> None:
-        graph = self.graph
-        graph.set_membership(key, graph.membership(key).with_bit(level, bit))
-        self.ops.append(PromoteOp(key, level, bit))
+        self._record(PromoteOp(key, level, bit))
 
     def demote(self, key: Key, length: int) -> None:
-        membership = self.graph.membership(key)
-        if len(membership) > length:
-            self.graph.set_membership(key, membership.truncated(length))
-            self.ops.append(DemoteOp(key, length))
+        if len(self.graph.membership(key)) > length:
+            self._record(DemoteOp(key, length))
 
     def insert_dummy(self, key: Key, bits: Bits) -> None:
-        self.graph.add_node(
-            SkipGraphNode(key=key, membership=MembershipVector(bits), is_dummy=True)
-        )
-        self.ops.append(DummyInsertOp(key, tuple(bits)))
+        self._record(DummyInsertOp(key, tuple(bits)))
 
     def remove_dummy(self, key: Key) -> None:
-        self.graph.remove_node(key)
-        self.ops.append(DummyRemoveOp(key))
+        self._record(DummyRemoveOp(key))
 
     def join(self, key: Key, bits: Bits, payload=None) -> None:
+        # The only op applied by hand: ``payload`` rides on the node object
+        # but not on the (wire-format) op, so apply_op cannot attach it.
+        bits = tuple(bits)
+        op = NodeJoinOp(key, bits)
+        if self.tracker is not None:
+            self.tracker.mark_insert(key, bits)
         self.graph.add_node(
             SkipGraphNode(key=key, membership=MembershipVector(bits), payload=payload)
         )
-        self.ops.append(NodeJoinOp(key, tuple(bits)))
+        self.ops.append(op)
 
     def leave(self, key: Key) -> None:
-        self.graph.remove_node(key)
-        self.ops.append(NodeLeaveOp(key))
+        self._record(NodeLeaveOp(key))
 
 
 # ---------------------------------------------------------------- wire form

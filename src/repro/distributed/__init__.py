@@ -47,8 +47,11 @@ segment for clarity.  This simplification is documented in DESIGN.md.
 
 from repro.distributed.routing_protocol import (
     RoutingProtocolResult,
+    apply_network_delta,
     install_routing,
     make_router,
+    networks_equal,
+    patch_network,
     run_routing_protocol,
     skip_graph_network,
     trace_route,
@@ -72,6 +75,9 @@ from repro.distributed.amf_protocol import AMFProtocolResult, install_amf, run_a
 __all__ = [
     "AMFProtocolResult",
     "BroadcastResult",
+    "apply_network_delta",
+    "networks_equal",
+    "patch_network",
     "DSGProcess",
     "DistributedDSG",
     "DistributedDSGReport",

@@ -67,7 +67,7 @@ from repro.core.local_ops import (
     op_from_payload,
     op_to_payload,
 )
-from repro.distributed.routing_protocol import NeighborTable, skip_graph_network
+from repro.distributed.routing_protocol import NeighborTable, networks_equal, skip_graph_network
 from repro.simulation import Message, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.simulation.errors import SimulationError
 from repro.skipgraph.node import Key
@@ -393,14 +393,7 @@ class DistributedDSG:
 
     def network_matches_topology(self) -> bool:
         """Invariant check: incrementally rewired links == rebuilt links."""
-        rebuilt = skip_graph_network(self.topology)
-        network = self.sim.network
-        if set(network.nodes) != set(rebuilt.nodes):
-            return False
-        edges = {frozenset(edge) for edge in network.edges()}
-        if edges != {frozenset(edge) for edge in rebuilt.edges()}:
-            return False
-        return all(network.labels(u, v) == rebuilt.labels(u, v) for u, v in rebuilt.edges())
+        return networks_equal(self.sim.network, skip_graph_network(self.topology))
 
     # -------------------------------------------------------------- internals
     def _install(self, key: Key) -> None:

@@ -22,23 +22,47 @@ Two entry points:
   simulator (reusing its network and metrics), which is how the churn
   arena restarts routing generations across membership changes and how
   :func:`~repro.workloads.scenarios.replay_scenario` joiners get processes.
+
+Network maintenance is *op driven*: :func:`skip_graph_network` builds the
+link structure once from a topology snapshot, and :func:`patch_network` /
+:func:`apply_network_delta` keep a built network equal to the evolving
+topology by executing local-operation plans (:mod:`repro.core.local_ops`)
+as per-level link rewiring — the invariant
+``network == skip_graph_network(graph)`` (links *and* level labels) holds
+after every op, so protocol installs and churn replays never rebuild the
+network from scratch (at 100k nodes a rebuild is millions of link
+insertions; a churn op patches a bounded neighbourhood).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.core.local_ops import (
+    DemoteOp,
+    DummyInsertOp,
+    DummyRemoveOp,
+    LocalOp,
+    NodeJoinOp,
+    NodeLeaveOp,
+    PromoteOp,
+    apply_op,
+)
 from repro.simulation import Message, Network, NodeProcess, RoundContext, Simulator, SimulatorConfig
+from repro.skipgraph.membership import common_prefix_length
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 
 __all__ = [
     "NeighborTable",
     "RoutingProtocolResult",
+    "apply_network_delta",
     "install_routing",
     "make_router",
+    "networks_equal",
+    "patch_network",
     "run_routing_protocol",
     "skip_graph_network",
     "trace_route",
@@ -191,6 +215,128 @@ def skip_graph_network(graph: SkipGraph) -> Network:
                 if neighbor is not None:
                     network.add_link(key, neighbor, label=f"level{level}")
     return network
+
+
+def _splice_into_level(network: Network, graph: SkipGraph, key: Key, level: int, affected: Set[Key]) -> None:
+    """Wire ``key`` into its (already updated) list at ``level``.
+
+    The new node links to its left/right list neighbours and the pair it
+    landed between loses its adjacency label at that level — the
+    :func:`skip_graph_network` convention.
+    """
+    left, right = graph.neighbors(key, level)
+    if left is not None and right is not None:
+        network.remove_link(left, right, label=f"level{level}")
+    for neighbor in (left, right):
+        if neighbor is not None:
+            network.add_link(key, neighbor, label=f"level{level}")
+            affected.add(neighbor)
+
+
+def patch_network(network: Network, graph: SkipGraph, op: LocalOp) -> Set[Key]:
+    """Execute one local op against ``graph`` and patch ``network`` to match.
+
+    ``graph`` is the topology mirror ``network`` was built from
+    (:func:`skip_graph_network`); the op is applied to it and the links are
+    rewired *incrementally*, level by level, so that the invariant
+    ``network == skip_graph_network(graph)`` (links and labels) holds after
+    every op:
+
+    * an insertion (:class:`~repro.core.local_ops.NodeJoinOp` /
+      :class:`~repro.core.local_ops.DummyInsertOp`) splices the new node
+      into the base list and every level its membership bits reach;
+    * a departure (:class:`~repro.core.local_ops.NodeLeaveOp` /
+      :class:`~repro.core.local_ops.DummyRemoveOp`) closes every list up
+      over the node (its left/right neighbours become adjacent) and drops
+      its links;
+    * a membership rewrite (:class:`~repro.core.local_ops.PromoteOp` /
+      :class:`~repro.core.local_ops.DemoteOp`) closes up the lists the node
+      leaves (levels above the preserved prefix of the old vector) and
+      splices it into the lists the new vector reaches.
+
+    Returns the set of keys whose links changed (the op's bounded
+    neighbourhood) — what a driver must refresh routing tables for.  This
+    is the op-driven alternative to rebuilding with
+    :func:`skip_graph_network`: O(affected levels) link mutations per op
+    instead of an O(n * height) reconstruction, property-tested equal to
+    the rebuild after every op.
+    """
+    if not isinstance(
+        op, (NodeJoinOp, DummyInsertOp, NodeLeaveOp, DummyRemoveOp, PromoteOp, DemoteOp)
+    ):
+        raise TypeError(f"unknown local op {op!r}")
+    affected: Set[Key] = {op.key}
+    if isinstance(op, (NodeJoinOp, DummyInsertOp)):
+        apply_op(graph, op)
+        network.add_node(op.key)
+        for level in range(len(op.bits) + 1):
+            _splice_into_level(network, graph, op.key, level, affected)
+    elif isinstance(op, (NodeLeaveOp, DummyRemoveOp)):
+        closures = []
+        for level in range(len(graph.membership(op.key)) + 1):
+            left, right = graph.neighbors(op.key, level)
+            for neighbor in (left, right):
+                if neighbor is not None:
+                    affected.add(neighbor)
+            if left is not None and right is not None:
+                closures.append((level, left, right))
+        apply_op(graph, op)
+        if network.has_node(op.key):
+            network.remove_node(op.key)
+        for level, left, right in closures:
+            network.add_link(left, right, label=f"level{level}")
+    elif isinstance(op, (PromoteOp, DemoteOp)):
+        old = graph.membership(op.key)
+        if isinstance(op, PromoteOp):
+            new = old.with_bit(op.level, op.bit)
+        else:
+            new = old.truncated(op.length)
+        keep = common_prefix_length(old, new)
+        closures = []
+        for level in range(keep + 1, len(old) + 1):
+            left, right = graph.neighbors(op.key, level)
+            closures.append((level, left, right))
+        apply_op(graph, op)
+        for level, left, right in closures:
+            for neighbor in (left, right):
+                if neighbor is not None:
+                    network.remove_link(op.key, neighbor, label=f"level{level}")
+                    affected.add(neighbor)
+            if left is not None and right is not None:
+                network.add_link(left, right, label=f"level{level}")
+        for level in range(keep + 1, len(new) + 1):
+            _splice_into_level(network, graph, op.key, level, affected)
+    return affected
+
+
+def apply_network_delta(network: Network, graph: SkipGraph, ops: Iterable[LocalOp]) -> Set[Key]:
+    """Patch ``network`` (and ``graph``) with a whole local-op plan, in order.
+
+    The bulk form of :func:`patch_network` — what a driver uses to carry a
+    built network across a request plan or a churn plan without rebuilding.
+    Returns the union of every op's affected neighbourhood.
+    """
+    affected: Set[Key] = set()
+    for op in ops:
+        affected |= patch_network(network, graph, op)
+    return affected
+
+
+def networks_equal(network: Network, other: Network) -> bool:
+    """Link-for-link equality of two networks, level labels included.
+
+    The check side of the delta-maintenance contract: a network carried by
+    :func:`patch_network` must equal a :func:`skip_graph_network` rebuild of
+    the same topology.  Lives next to the convention it compares; used by
+    the equivalence property tests, ``bench_e15_100k`` and the distributed
+    DSG driver's invariant check.
+    """
+    if set(network.nodes) != set(other.nodes):
+        return False
+    edges = {frozenset(edge) for edge in network.edges()}
+    if edges != {frozenset(edge) for edge in other.edges()}:
+        return False
+    return all(network.labels(u, v) == other.labels(u, v) for u, v in other.edges())
 
 
 def install_routing(

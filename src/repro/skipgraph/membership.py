@@ -89,7 +89,10 @@ class MembershipVector:
         return MembershipVector._from_trusted(self._bits[:length])
 
     def has_prefix(self, prefix: BitsLike) -> bool:
-        other = _coerce_bits(prefix)
+        # Trusted fast path: a MembershipVector's bits are validated once at
+        # construction, so prefix checks between vectors (once per request in
+        # the cost model) skip the per-call re-coercion.
+        other = prefix._bits if type(prefix) is MembershipVector else _coerce_bits(prefix)
         return self._bits[: len(other)] == other
 
     # ------------------------------------------------------------ derivation
@@ -141,10 +144,13 @@ def common_prefix_length(a: BitsLike, b: BitsLike) -> int:
     """Length of the longest common prefix of two membership vectors.
 
     This is the highest level at which the two nodes share a linked list
-    (``α`` in the paper when applied to a communicating pair).
+    (``α`` in the paper when applied to a communicating pair).  Already
+    validated :class:`MembershipVector` arguments take a trusted fast path
+    (no re-coercion) — the function runs once per request in the cost model
+    and once per membership rewrite in the skip graph's cache patching.
     """
-    bits_a = _coerce_bits(a)
-    bits_b = _coerce_bits(b)
+    bits_a = a._bits if type(a) is MembershipVector else _coerce_bits(a)
+    bits_b = b._bits if type(b) is MembershipVector else _coerce_bits(b)
     length = 0
     for bit_a, bit_b in zip(bits_a, bits_b):
         if bit_a != bit_b:

@@ -30,6 +30,13 @@ Scaling machinery (the request hot path relies on all four):
   maintained on every mutation, making :meth:`height` O(height) instead of
   an O(n log n) rescan (the DSG front end queries the height after every
   request).
+* **Real-prefix index** — alongside the total per-prefix carrier counts, a
+  per-prefix count of *dummy* carriers (dummies are rare, so the hot-path
+  membership rewrites of real nodes never touch it) makes
+  :meth:`real_prefix_count` / :meth:`shares_real_prefix` O(1) per query.
+  This is what lets :func:`~repro.skipgraph.build.draw_membership_bits`
+  answer "does any other real node share this prefix?" in O(1) per drawn
+  bit instead of scanning ``real_keys`` — the join rule at 100k nodes.
 """
 
 from __future__ import annotations
@@ -59,6 +66,12 @@ class SkipGraph:
         # and per level, how many prefixes have >= 2 carriers.
         self._prefix_counts: Dict[Prefix, int] = {}
         self._multi_prefixes_per_level: Dict[int, int] = {}
+        # Real-prefix index: per-prefix count of *dummy* carriers plus the
+        # total dummy population.  Real carriers of a prefix are then
+        # ``_prefix_counts[p] - _dummy_prefix_counts.get(p, 0)`` — O(1), and
+        # the hot path (membership rewrites of real nodes) never pays for it.
+        self._dummy_prefix_counts: Dict[Prefix, int] = {}
+        self._dummy_count = 0
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -79,7 +92,9 @@ class SkipGraph:
         self._nodes[node.key] = node
         insort(self._sorted_keys, node.key)
         bits = node.membership.bits
-        self._register_vector(bits)
+        if node.is_dummy:
+            self._dummy_count += 1
+        self._register_vector(bits, dummy=node.is_dummy)
         list_cache = self._list_cache
         pop_pos = self._pos_cache.pop
         for level in range(1, len(bits) + 1):
@@ -100,7 +115,9 @@ class SkipGraph:
         index = bisect_left(self._sorted_keys, key)
         del self._sorted_keys[index]
         bits = node.membership.bits
-        self._unregister_vector(bits)
+        if node.is_dummy:
+            self._dummy_count -= 1
+        self._unregister_vector(bits, dummy=node.is_dummy)
         list_cache = self._list_cache
         pop_pos = self._pos_cache.pop
         for level in range(1, len(bits) + 1):
@@ -139,6 +156,16 @@ class SkipGraph:
         """Keys of non-dummy nodes in ascending order."""
         return [k for k in self._sorted_keys if not self._nodes[k].is_dummy]
 
+    @property
+    def real_count(self) -> int:
+        """Number of non-dummy nodes — O(1), no ``real_keys`` scan."""
+        return len(self._nodes) - self._dummy_count
+
+    @property
+    def dummy_node_count(self) -> int:
+        """Number of dummy nodes — O(1), no ``dummy_keys`` scan."""
+        return self._dummy_count
+
     def nodes(self) -> List[SkipGraphNode]:
         return [self._nodes[key] for key in self._sorted_keys]
 
@@ -161,8 +188,8 @@ class SkipGraph:
         new = MembershipVector(membership) if not isinstance(membership, MembershipVector) else membership
         node.membership = new
         keep_prefix = common_prefix_length(old, new)
-        self._unregister_vector(old.bits, start=keep_prefix + 1)
-        self._register_vector(new.bits, start=keep_prefix + 1)
+        self._unregister_vector(old.bits, start=keep_prefix + 1, dummy=node.is_dummy)
+        self._register_vector(new.bits, start=keep_prefix + 1, dummy=node.is_dummy)
         self._invalidate_for_change(old, new, keep_prefix)
 
     def _invalidate_for_change(self, old: MembershipVector, new: MembershipVector, keep_prefix: int) -> None:
@@ -181,13 +208,14 @@ class SkipGraph:
         self._pos_cache.clear()
 
     # ------------------------------------------------- incremental height data
-    def _register_vector(self, bits: Prefix, start: int = 1) -> None:
+    def _register_vector(self, bits: Prefix, start: int = 1, dummy: bool = False) -> None:
         """Count the prefixes of ``bits`` from length ``start`` upward.
 
         ``start`` lets :meth:`set_membership` skip the prefix shared between
         the old and the new vector, whose counts are unchanged — the
         transformation's one-bit appends then cost O(1) here instead of
-        O(depth).
+        O(depth).  ``dummy`` carriers are additionally counted in the
+        dummy-prefix index so :meth:`real_prefix_count` stays exact.
         """
         counts = self._prefix_counts
         multi = self._multi_prefixes_per_level
@@ -197,8 +225,13 @@ class SkipGraph:
             counts[prefix] = count
             if count == 2:
                 multi[level] = multi.get(level, 0) + 1
+        if dummy:
+            dummy_counts = self._dummy_prefix_counts
+            for level in range(start, len(bits) + 1):
+                prefix = bits[:level]
+                dummy_counts[prefix] = dummy_counts.get(prefix, 0) + 1
 
-    def _unregister_vector(self, bits: Prefix, start: int = 1) -> None:
+    def _unregister_vector(self, bits: Prefix, start: int = 1, dummy: bool = False) -> None:
         counts = self._prefix_counts
         multi = self._multi_prefixes_per_level
         for level in range(start, len(bits) + 1):
@@ -214,6 +247,45 @@ class SkipGraph:
                     multi[level] = remaining
                 else:
                     del multi[level]
+        if dummy:
+            dummy_counts = self._dummy_prefix_counts
+            for level in range(start, len(bits) + 1):
+                prefix = bits[:level]
+                remaining = dummy_counts[prefix] - 1
+                if remaining:
+                    dummy_counts[prefix] = remaining
+                else:
+                    del dummy_counts[prefix]
+
+    # ------------------------------------------------------ real-prefix index
+    def real_prefix_count(self, prefix: Prefix) -> int:
+        """How many *real* (non-dummy) nodes carry ``prefix`` — O(1).
+
+        The empty prefix counts the whole real population.  Derived from
+        the incremental height bookkeeping: total carriers minus dummy
+        carriers, both maintained on every mutation.
+        """
+        if not prefix:
+            return self.real_count
+        return self._prefix_counts.get(prefix, 0) - self._dummy_prefix_counts.get(prefix, 0)
+
+    def shares_real_prefix(self, prefix: Prefix, exclude: Optional[Key] = None) -> bool:
+        """Whether any real node other than ``exclude`` carries ``prefix``.
+
+        This is the join-rule predicate of Section IV-G ("does some existing
+        real node share the joiner's prefix?") answered from the prefix
+        index in O(|prefix|) instead of an O(n) ``real_keys`` scan —
+        semantically identical to the scan, including the treatment of a
+        node already present under ``exclude``.
+        """
+        count = self.real_prefix_count(prefix)
+        if exclude is not None:
+            node = self._nodes.get(exclude)
+            if node is not None and not node.is_dummy:
+                bits = node.membership.bits
+                if len(bits) >= len(prefix) and bits[: len(prefix)] == prefix:
+                    count -= 1
+        return count > 0
 
     # ---------------------------------------------------------- list building
     def _members_internal(self, level: int, prefix_bits: Prefix) -> List[Key]:
@@ -269,6 +341,16 @@ class SkipGraph:
         if len(prefix_vec) != level:
             raise ValueError(f"prefix must have exactly {level} bits, got {len(prefix_vec)}")
         return list(self._members_internal(level, prefix_vec.bits))
+
+    def list_at(self, level: int, prefix_bits: Prefix) -> List[Key]:
+        """The live (do-not-mutate) list at ``level`` / ``prefix_bits``.
+
+        Trusted fast path for in-package scanners (the balance tracker walks
+        dirtied lists through it): no prefix re-validation, no defensive
+        copy.  ``prefix_bits`` must be a tuple of exactly ``level`` bits;
+        an unknown prefix yields an empty list.
+        """
+        return self._members_internal(level, prefix_bits)
 
     def list_of(self, key: Key, level: int) -> List[Key]:
         """Keys of the linked list containing ``key`` at ``level`` (key order)."""

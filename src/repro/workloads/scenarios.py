@@ -51,19 +51,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.baselines.adapter import DSGAdapter, ServingAlgorithm
 from repro.core.dsg import DSGConfig
 from repro.core.local_ops import (
-    DemoteOp,
-    DummyInsertOp,
     DummyRemoveOp,
     LocalOp,
     NodeJoinOp,
     NodeLeaveOp,
-    PromoteOp,
-    apply_op,
 )
 from repro.simulation import NodeProcess, Simulator
 from repro.simulation.rng import make_rng
 from repro.skipgraph.build import draw_membership_bits
-from repro.skipgraph.membership import common_prefix_length
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 
@@ -306,93 +301,31 @@ def workload_scenario(
 
 
 # ------------------------------------------------------- simulation bridge
-def _splice_into_level(network, graph: SkipGraph, key: Key, level: int, affected: set) -> None:
-    """Wire ``key`` into its (already updated) list at ``level``.
-
-    The new node links to its left/right list neighbours and the pair it
-    landed between loses its adjacency label at that level — the
-    :func:`~repro.distributed.routing_protocol.skip_graph_network`
-    convention.
-    """
-    left, right = graph.neighbors(key, level)
-    if left is not None and right is not None:
-        network.remove_link(left, right, label=f"level{level}")
-    for neighbor in (left, right):
-        if neighbor is not None:
-            network.add_link(key, neighbor, label=f"level{level}")
-            affected.add(neighbor)
-
-
 def apply_local_op(sim: Simulator, graph: SkipGraph, op: LocalOp) -> set:
     """Execute one local op against a live simulator: graph + per-level links.
 
     ``graph`` is the topology mirror the simulator's network was built from
-    (:func:`~repro.distributed.routing_protocol.skip_graph_network`); the op
-    is applied to it and the network is patched *incrementally*, level by
-    level, so that the invariant ``network == skip_graph_network(graph)``
-    (links and labels) holds after every op:
-
-    * an insertion (:class:`~repro.core.local_ops.NodeJoinOp` /
-      :class:`~repro.core.local_ops.DummyInsertOp`) splices the new node
-      into the base list and every level its membership bits reach;
-    * a departure (:class:`~repro.core.local_ops.NodeLeaveOp` /
-      :class:`~repro.core.local_ops.DummyRemoveOp`) closes every list up
-      over the node (its left/right neighbours become adjacent), drops its
-      links and retires its process if one is live;
-    * a membership rewrite (:class:`~repro.core.local_ops.PromoteOp` /
-      :class:`~repro.core.local_ops.DemoteOp`) closes up the lists the node
-      leaves (levels above the preserved prefix of the old vector) and
-      splices it into the lists the new vector reaches.
+    (:func:`~repro.distributed.routing_protocol.skip_graph_network`).  The
+    link rewiring itself lives in the op-driven delta builder next to the
+    network convention it maintains —
+    :func:`~repro.distributed.routing_protocol.patch_network` — which keeps
+    ``network == skip_graph_network(graph)`` (links and labels) true after
+    every op; this bridge adds the *process* side of a departure
+    (:class:`~repro.core.local_ops.NodeLeaveOp` /
+    :class:`~repro.core.local_ops.DummyRemoveOp`): the departed node's
+    process, if one is live, is retired from the simulator.
 
     Returns the set of keys whose links changed (the op's bounded
     neighbourhood) — what a driver must refresh routing tables for.
     """
-    network = sim.network
-    affected = {op.key}
-    if isinstance(op, (NodeJoinOp, DummyInsertOp)):
-        apply_op(graph, op)
-        network.add_node(op.key)
-        for level in range(len(op.bits) + 1):
-            _splice_into_level(network, graph, op.key, level, affected)
-    elif isinstance(op, (NodeLeaveOp, DummyRemoveOp)):
-        closures = []
-        for level in range(len(graph.membership(op.key)) + 1):
-            left, right = graph.neighbors(op.key, level)
-            for neighbor in (left, right):
-                if neighbor is not None:
-                    affected.add(neighbor)
-            if left is not None and right is not None:
-                closures.append((level, left, right))
-        apply_op(graph, op)
-        if network.has_node(op.key):
-            network.remove_node(op.key)
-        for level, left, right in closures:
-            network.add_link(left, right, label=f"level{level}")
-        if op.key in sim.processes:
-            sim.retire(op.key)
-    elif isinstance(op, (PromoteOp, DemoteOp)):
-        old = graph.membership(op.key)
-        if isinstance(op, PromoteOp):
-            new = old.with_bit(op.level, op.bit)
-        else:
-            new = old.truncated(op.length)
-        keep = common_prefix_length(old, new)
-        closures = []
-        for level in range(keep + 1, len(old) + 1):
-            left, right = graph.neighbors(op.key, level)
-            closures.append((level, left, right))
-        apply_op(graph, op)
-        for level, left, right in closures:
-            for neighbor in (left, right):
-                if neighbor is not None:
-                    network.remove_link(op.key, neighbor, label=f"level{level}")
-                    affected.add(neighbor)
-            if left is not None and right is not None:
-                network.add_link(left, right, label=f"level{level}")
-        for level in range(keep + 1, len(new) + 1):
-            _splice_into_level(network, graph, op.key, level, affected)
-    else:
-        raise TypeError(f"unknown local op {op!r}")
+    # Imported lazily: repro.distributed.dsg_protocol imports this module at
+    # load time, so a module-level import back into repro.distributed would
+    # be circular.
+    from repro.distributed.routing_protocol import patch_network
+
+    affected = patch_network(sim.network, graph, op)
+    if isinstance(op, (NodeLeaveOp, DummyRemoveOp)) and op.key in sim.processes:
+        sim.retire(op.key)
     return affected
 
 

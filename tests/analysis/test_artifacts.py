@@ -5,8 +5,10 @@ import json
 import pytest
 
 from repro.analysis.artifacts import (
+    SCHEMA_VERSION,
     AlgorithmResult,
     BenchmarkArtifact,
+    PlanSizeStats,
     ProtocolResult,
     load_artifact,
     load_artifacts,
@@ -162,7 +164,7 @@ class TestProtocolArtifacts:
     def test_round_trip_preserves_protocol_rows(self, tmp_path):
         path = write_artifact(protocol_artifact(), tmp_path)
         loaded = load_artifact(path)
-        assert loaded.schema_version == 2
+        assert loaded.schema_version == SCHEMA_VERSION
         routing = loaded.protocol("routing")
         assert routing.rounds == 205
         assert routing.dropped_messages == 1
@@ -194,3 +196,47 @@ class TestProtocolArtifacts:
         )
         assert not row.within_budget
         assert not row.conformant
+
+
+class TestPlanSizeArtifacts:
+    def test_from_histogram_percentiles(self):
+        stats = PlanSizeStats.from_histogram("scale-mix", {0: 60, 4: 30, 18: 9, 5000: 1})
+        assert stats.requests == 100
+        assert stats.p50_ops == 0
+        assert stats.p90_ops == 4
+        assert stats.p99_ops == 18
+        assert stats.max_ops == 5000
+        assert stats.empty_fraction == 0.6
+        assert stats.mean_ops == (4 * 30 + 18 * 9 + 5000) / 100
+
+    def test_from_empty_histogram(self):
+        stats = PlanSizeStats.from_histogram("idle", {})
+        assert stats.requests == 0 and stats.max_ops == 0 and stats.empty_fraction == 0.0
+
+    def test_round_trip_preserves_plan_size_rows(self, tmp_path):
+        artifact = protocol_artifact()
+        artifact.plan_sizes = [PlanSizeStats.from_histogram("churn", {0: 5, 4: 5})]
+        path = write_artifact(artifact, tmp_path)
+        loaded = load_artifact(path)
+        assert len(loaded.plan_sizes) == 1
+        row = loaded.plan_sizes[0]
+        assert row.workload == "churn"
+        assert row.requests == 10 and row.p90_ops == 4 and row.empty_fraction == 0.5
+
+    def test_schema_v2_files_load_without_plan_sizes(self, tmp_path):
+        path = write_artifact(protocol_artifact(), tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 2
+        del data["plan_sizes"]
+        path.write_text(json.dumps(data))
+        loaded = load_artifact(path)
+        assert loaded.plan_sizes == []
+        assert loaded.protocol("routing").rounds == 205
+
+    def test_render_includes_plan_size_table(self):
+        artifact = protocol_artifact()
+        artifact.plan_sizes = [PlanSizeStats.from_histogram("scale-mix", {0: 3, 2: 1})]
+        report = render_comparison([artifact])
+        assert "| plan sizes (workload) | requests |" in report
+        assert "| scale-mix | 4 |" in report
+        assert "75.0%" in report

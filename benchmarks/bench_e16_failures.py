@@ -1,0 +1,177 @@
+"""E16 benchmark: crash-stop failures at 4096 nodes with k-redundant route-around.
+
+The headline run drives the three failure shapes of
+:func:`repro.workloads.failure_scenario` — independent background
+attrition, correlated rack failures and a flash disconnect — through the
+crash-stop arena (:func:`repro.distributed.run_failure_arena`) over a
+**4096-node** balanced skip graph with a k-redundant overlay:
+
+* every wave opens with a crash burst at quiescence: links go dark with no
+  goodbye, the survivors' neighbour tables are now stale;
+* the wave's requests route *through* the dark window — a hop whose link
+  vanished is re-forwarded via the k-redundant table, so every request to
+  a surviving key is still delivered, while requests to crashed keys
+  strand at the hole's edge and are counted as ``failed_requests``;
+* the repair wave excises the crashed keys, closes every level list up
+  over them (restoring ``network == skip_graph_network(graph, k)``
+  exactly) and refreshes the affected survivors' tables;
+* the integrity sweep (:func:`repro.skipgraph.verify_skip_graph_integrity`)
+  audits the repaired graph *and* the live network after every wave.
+
+Acceptance gates:
+
+* request conservation per wave: ``delivered + failed == injected``, with
+  ``failed`` exactly the stale-destination requests of the schedule (every
+  surviving-key request was delivered via route-around);
+* a clean integrity sweep after every repair wave;
+* zero congestion violations and zero message drops — both strict modes
+  are on, so the engine would raise rather than count;
+* under failures the arena actually exercised redundancy: route-arounds
+  occurred and repair links were added.
+
+The run writes a schema-v4 ``BENCH_e16_failures.json`` artifact
+(``failures`` rows) plus a markdown report into ``benchmarks/artifacts/``,
+mirrored to the repository root for the perf-trajectory tooling.
+
+Under ``BENCH_QUICK=1`` the arena shrinks to a 256-node smoke shape.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e16_failures.py -q -s
+"""
+
+import time
+from pathlib import Path
+
+from conftest import artifact_dir, publish_artifact, quick_mode
+
+from repro.analysis.artifacts import BenchmarkArtifact, FailureResult, render_comparison
+from repro.distributed import run_failure_arena
+from repro.simulation.message import congest_budget_bits
+from repro.workloads import CrashEvent, RequestEvent, failure_scenario
+
+if quick_mode():
+    ARENA = dict(n=256, length=400, k=2, seed=42)
+    SHAPES = dict(
+        independent=dict(mode="independent", crash_rate=0.02),
+        racks=dict(mode="racks", rack_count=16, rack_failures=2),
+        flash=dict(mode="flash", flash_size=8),
+    )
+else:
+    ARENA = dict(n=4096, length=3000, k=3, seed=42)
+    SHAPES = dict(
+        independent=dict(mode="independent", crash_rate=0.004),
+        racks=dict(mode="racks", rack_count=64, rack_failures=3),
+        flash=dict(mode="flash", flash_size=48),
+    )
+STALE_FRACTION = 0.05
+
+
+def _stale_requests(scenario) -> int:
+    """Requests whose destination crashed earlier in the schedule.
+
+    These are the schedule's *intended* failures — a client holding a
+    stale reference — and the arena must fail exactly them: the request
+    strands at the hole's edge (or at the nearest survivor, once the hole
+    is repaired) and is counted, never delivered and never dropped.
+    """
+    crashed = set()
+    stale = 0
+    for event in scenario.events:
+        if isinstance(event, CrashEvent):
+            crashed.add(event.key)
+        elif isinstance(event, RequestEvent) and event.destination in crashed:
+            stale += 1
+    return stale
+
+
+def test_e16_failure_arena(run_once):
+    n, k, seed = ARENA["n"], ARENA["k"], ARENA["seed"]
+    budget = congest_budget_bits(n)
+    scenarios = {
+        name: failure_scenario(
+            n=n,
+            length=ARENA["length"],
+            seed=seed,
+            stale_fraction=STALE_FRACTION,
+            # The k-redundancy tolerance assumption: at most k - 1
+            # consecutive keys may fail between repair waves, so every
+            # surviving-key request is deliverable by the guarantee.
+            adjacent_crash_limit=k - 1,
+            name=name,
+            **params,
+        )
+        for name, params in SHAPES.items()
+    }
+
+    def arena():
+        reports = {}
+        for name, scenario in scenarios.items():
+            started = time.perf_counter()
+            report = run_failure_arena(scenario, k=k, seed=seed)
+            reports[name] = (report, time.perf_counter() - started)
+        return reports
+
+    reports = run_once(arena)
+
+    rows = []
+    checks = {}
+    for name, (report, wall) in reports.items():
+        stale = _stale_requests(scenarios[name])
+        checks[f"{name}_requests_conserved"] = report.conserved
+        # failed == stale <=> every surviving-key request was delivered.
+        checks[f"{name}_survivors_all_delivered"] = report.failed == stale
+        checks[f"{name}_integrity_clean_every_wave"] = report.integrity_clean
+        checks[f"{name}_zero_congestion_violations"] = report.congestion_violations == 0
+        checks[f"{name}_zero_message_drops"] = report.dropped_messages == 0
+        checks[f"{name}_within_bit_budget"] = report.max_message_bits <= budget
+        checks[f"{name}_failures_exercised"] = report.crashes > 0 and report.repair_links > 0
+        rows.append(
+            FailureResult(
+                name=name,
+                n=n,
+                k=k,
+                waves=len(report.waves),
+                crashes=report.crashes,
+                requests=report.requests,
+                delivered=report.delivered,
+                failed=report.failed,
+                route_arounds=report.route_arounds,
+                repair_links=report.repair_links,
+                tables_refreshed=report.tables_refreshed,
+                rounds=report.rounds,
+                messages=report.messages,
+                congestion_violations=report.congestion_violations,
+                dropped_messages=report.dropped_messages,
+                integrity_clean=report.integrity_clean,
+                wall_seconds=wall,
+            )
+        )
+
+    total_wall = sum(wall for _, wall in reports.values())
+    artifact = BenchmarkArtifact(
+        benchmark="e16_failures",
+        config=dict(ARENA, stale_fraction=STALE_FRACTION, quick=quick_mode(), budget_bits=budget),
+        wall_seconds=total_wall,
+        failures=rows,
+        checks=checks,
+    )
+    json_path = publish_artifact(artifact)
+    report_md = render_comparison([artifact])
+    md_path = Path(artifact_dir()) / "BENCH_e16_failures.md"
+    md_path.write_text(report_md)
+
+    print()
+    print(report_md)
+    for row in rows:
+        print(
+            f"[e16-{row.name}] n={row.n} k={row.k} waves={row.waves} crashes={row.crashes} "
+            f"delivered={row.delivered}/{row.requests} failed={row.failed} "
+            f"route_arounds={row.route_arounds} repair_links={row.repair_links} "
+            f"wall={row.wall_seconds:.1f}s"
+        )
+    print(f"[e16] artifact={json_path} report={md_path}")
+
+    assert json_path.exists() and md_path.exists()
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"failure arena checks failed: {failed}"

@@ -22,6 +22,7 @@ from repro.analysis.tables import Table, render_table, to_csv
 from repro.analysis.artifacts import (
     AlgorithmResult,
     BenchmarkArtifact,
+    FailureResult,
     PlanSizeStats,
     load_artifact,
     load_artifacts,
@@ -34,6 +35,7 @@ __all__ = [
     "BenchmarkArtifact",
     "CompetitiveReport",
     "CostSummary",
+    "FailureResult",
     "PlanSizeStats",
     "Table",
     "competitive_report",

@@ -32,7 +32,9 @@ can archive them and humans can diff them across commits:
 The JSON schema is flat and versioned (``schema_version``); artifacts are
 self-describing so the ``compare`` CLI needs nothing but the files.
 Version 2 added the ``protocols`` section, version 3 the ``plan_sizes``
-section; older files load as artifacts without the newer rows.
+section, version 4 the ``failures`` section (:class:`FailureResult`, the
+crash-stop arena rows of ``bench_e16_failures``); older files load as
+artifacts without the newer rows.
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 __all__ = [
     "AlgorithmResult",
     "BenchmarkArtifact",
+    "FailureResult",
     "PlanSizeStats",
     "ProtocolResult",
     "load_artifact",
@@ -53,7 +56,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -215,6 +218,68 @@ class PlanSizeStats:
 
 
 @dataclass
+class FailureResult:
+    """One crash-stop failure arena's outcome (``bench_e16_failures``).
+
+    Parameters
+    ----------
+    name:
+        Failure shape label (``independent``, ``racks``, ``flash``).
+    n, k:
+        Initial population and the redundancy the network/tables ran with.
+    waves:
+        Crash-burst/dark-window/repair cycles executed.
+    crashes, requests:
+        Nodes killed and requests injected across all waves.
+    delivered, failed:
+        Requests that reached their destination versus requests counted as
+        ``failed_requests`` (stale destinations stranding at a hole's
+        edge).  ``delivered + failed == requests`` for a conserving run.
+    route_arounds:
+        Hops re-forwarded through a k-redundant table because the primary
+        neighbour was dark.
+    repair_links, tables_refreshed:
+        Links added closing lists over the holes, and surviving routers
+        whose neighbour tables were rebuilt — the repair cost.
+    rounds, messages:
+        Synchronous rounds and messages over the whole arena.
+    congestion_violations, dropped_messages:
+        Must both be zero: crashes land at quiescent boundaries and sends
+        are gated on live links, so nothing is lost in flight.
+    integrity_clean:
+        Every post-repair integrity sweep came back clean.
+    wall_seconds:
+        Wall-clock simulation time for this arena alone.
+    """
+
+    name: str
+    n: int
+    k: int
+    waves: int
+    crashes: int
+    requests: int
+    delivered: int
+    failed: int
+    route_arounds: int
+    repair_links: int
+    tables_refreshed: int
+    rounds: int
+    messages: int
+    congestion_violations: int
+    dropped_messages: int = 0
+    integrity_clean: bool = True
+    wall_seconds: float = 0.0
+
+    @property
+    def conserved(self) -> bool:
+        return self.delivered + self.failed == self.requests
+
+    @property
+    def delivery_fraction(self) -> float:
+        return self.delivered / self.requests if self.requests else 0.0
+
+
+@dataclass
 class BenchmarkArtifact:
     """One benchmark run: config, timings, per-algorithm/protocol results, checks."""
 
@@ -225,6 +290,7 @@ class BenchmarkArtifact:
     algorithms: List[AlgorithmResult] = field(default_factory=list)
     protocols: List[ProtocolResult] = field(default_factory=list)
     plan_sizes: List[PlanSizeStats] = field(default_factory=list)
+    failures: List[FailureResult] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -241,6 +307,13 @@ class BenchmarkArtifact:
             if result.name == name:
                 return result
         raise KeyError(f"no protocol {name!r} in artifact {self.benchmark!r}")
+
+    def failure(self, name: str) -> FailureResult:
+        """Look up one failure arena's result by label."""
+        for result in self.failures:
+            if result.name == name:
+                return result
+        raise KeyError(f"no failure arena {name!r} in artifact {self.benchmark!r}")
 
     @property
     def all_checks_passed(self) -> bool:
@@ -277,6 +350,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
     algorithms = [AlgorithmResult(**entry) for entry in data.get("algorithms", [])]
     protocols = [ProtocolResult(**entry) for entry in data.get("protocols", [])]
     plan_sizes = [PlanSizeStats(**entry) for entry in data.get("plan_sizes", [])]
+    failures = [FailureResult(**entry) for entry in data.get("failures", [])]
     return BenchmarkArtifact(
         benchmark=data["benchmark"],
         config=data.get("config", {}),
@@ -285,6 +359,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
         algorithms=algorithms,
         protocols=protocols,
         plan_sizes=plan_sizes,
+        failures=failures,
         checks=data.get("checks", {}),
         schema_version=version,
     )
@@ -356,6 +431,20 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
                     f"| {result.name} | {result.n} | {result.rounds} | {result.messages} "
                     f"| {result.max_message_bits} | {result.budget_bits} "
                     f"| {result.congestion_violations} | {result.dropped_messages} | {churn} |"
+                )
+            lines.append("")
+        if artifact.failures:
+            lines.append(
+                "| failures | n | k | waves | crashes | requests | delivered | failed "
+                "| route-arounds | repair links | integrity |"
+            )
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+            for result in artifact.failures:
+                lines.append(
+                    f"| {result.name} | {result.n} | {result.k} | {result.waves} "
+                    f"| {result.crashes} | {result.requests} | {result.delivered} "
+                    f"| {result.failed} | {result.route_arounds} | {result.repair_links} "
+                    f"| {'clean' if result.integrity_clean else 'VIOLATED'} |"
                 )
             lines.append("")
         if artifact.plan_sizes:

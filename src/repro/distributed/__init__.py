@@ -46,15 +46,23 @@ segment for clarity.  This simplification is documented in DESIGN.md.
 """
 
 from repro.distributed.routing_protocol import (
+    NeighborTable,
     RoutingProtocolResult,
     apply_network_delta,
     install_routing,
     make_router,
     networks_equal,
     patch_network,
+    repair_crash_links,
     run_routing_protocol,
     skip_graph_network,
     trace_route,
+)
+from repro.distributed.failover import (
+    FailureArenaReport,
+    FailureWaveReport,
+    run_failure_arena,
+    segment_waves,
 )
 from repro.distributed.dsg_protocol import (
     DistributedDSG,
@@ -78,10 +86,14 @@ __all__ = [
     "apply_network_delta",
     "networks_equal",
     "patch_network",
+    "repair_crash_links",
     "DSGProcess",
     "DistributedDSG",
     "DistributedDSGReport",
     "DistributedRequestOutcome",
+    "FailureArenaReport",
+    "FailureWaveReport",
+    "NeighborTable",
     "RoutingProtocolResult",
     "SumProtocolResult",
     "install_amf",
@@ -91,10 +103,12 @@ __all__ = [
     "make_router",
     "run_amf_protocol",
     "run_distributed_dsg",
+    "run_failure_arena",
     "run_list_broadcast",
     "run_routing_protocol",
     "run_sum_protocol",
     "segment_network",
+    "segment_waves",
     "skip_graph_network",
     "trace_route",
 ]

@@ -98,9 +98,9 @@ class DSGProcess(NodeProcess):
     messages; it is woken by message delivery otherwise.
     """
 
-    def __init__(self, key: Key, graph: SkipGraph) -> None:
+    def __init__(self, key: Key, graph: SkipGraph, k: int = 1) -> None:
         super().__init__(key)
-        self.table = NeighborTable(graph, key)
+        self.table = NeighborTable(graph, key, k=k)
         self.bits: Tuple[int, ...] = graph.membership(key).bits
         self.is_dummy = graph.node(key).is_dummy
         #: Per-link FIFO flow control: receiver -> queued (kind, payload).
@@ -114,11 +114,18 @@ class DSGProcess(NodeProcess):
         #: Hop count of the last route that terminated here.
         self.route_hops: Optional[int] = None
         self.routes_completed = 0
+        #: Neighbours observed crashed (their link vanished at flush time).
+        self.dark: set = set()
+        #: Messages re-routed around a dark neighbour.
+        self.route_arounds = 0
+        #: Messages stranded at this node (every remaining candidate dark).
+        self.failed = 0
+        self._unreported_failures = 0
         self.done = True
 
     def memory_words(self) -> int:
         queued = sum(len(bucket) for bucket in self.outgoing.values())
-        return 2 * len(self.table.levels) + len(self.bits) + 5 * queued + 6
+        return self.table.size_words() + len(self.bits) + 5 * queued + len(self.dark) + 6
 
     # ------------------------------------------------------------ round hook
     def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
@@ -172,9 +179,13 @@ class DSGProcess(NodeProcess):
             self.destroyed = True
 
     def _relay(self, kind: str, payload: dict) -> None:
-        next_hop, used_level = self.table.next_hop(payload["to"], payload["lvl"])
-        if next_hop is None:  # pragma: no cover - consistent topologies never strand
+        next_hop, used_level = self.table.next_hop(payload["to"], payload["lvl"], dark=self.dark)
+        if next_hop is None:
+            # A consistent crash-free topology never strands; with crashes
+            # this is a failed request (the destination itself is dark).
             self.result = ("stuck", payload["to"])
+            self.failed += 1
+            self._unreported_failures += 1
             return
         updated = dict(payload)
         updated["lvl"] = used_level
@@ -185,7 +196,28 @@ class DSGProcess(NodeProcess):
         bucket.append((kind, updated))
 
     def _flush(self, ctx: RoundContext) -> None:
-        """Send at most one queued message per neighbour link this round."""
+        """Send at most one queued message per neighbour link this round.
+
+        A receiver whose link vanished (it crashed) is marked dark and its
+        queued messages re-routed through the k-redundant table — the hop
+        they never took is uncounted (``hops - 1``) before the re-relay
+        re-increments it.
+        """
+        if self.outgoing:
+            live = ctx.neighbors()
+            dark_receivers = [receiver for receiver in self.outgoing if receiver not in live]
+            while dark_receivers:
+                for receiver in dark_receivers:
+                    bucket = self.outgoing.pop(receiver)
+                    self.dark.add(receiver)
+                    for kind, payload in bucket:
+                        self.route_arounds += 1
+                        rewound = dict(payload)
+                        rewound["hops"] = payload["hops"] - 1
+                        self._relay(kind, rewound)
+                # A re-route may have queued onto another dark receiver; the
+                # dark set only grows, so this settles.
+                dark_receivers = [receiver for receiver in self.outgoing if receiver not in live]
         drained = []
         for receiver, bucket in self.outgoing.items():
             kind, payload = bucket.popleft()
@@ -194,6 +226,9 @@ class DSGProcess(NodeProcess):
                 drained.append(receiver)
         for receiver in drained:
             del self.outgoing[receiver]
+        if self._unreported_failures:
+            ctx.report_failure(self._unreported_failures)
+            self._unreported_failures = 0
         self.done = not self.outgoing
 
 
@@ -287,6 +322,8 @@ class DistributedDSG:
         self.outcomes: List[DistributedRequestOutcome] = []
         self.joins = 0
         self.leaves = 0
+        self.crashes = 0
+        self.repair_ops = 0
         self.total_cost = 0
         self.total_routing = 0
 
@@ -343,6 +380,11 @@ class DistributedDSG:
 
     def join(self, key: Key) -> None:
         """A peer joins (Section IV-G): structural churn between requests."""
+        if key in self.sim.crashed:
+            # Reject before the planner mutates: a partial join would leave
+            # planner and topology out of sync when add_process refuses the
+            # crashed key.
+            raise SimulationError(f"key {key!r} crashed and cannot re-join")
         self.planner.add_node(key)
         self._apply_ops(self.planner.last_churn_ops)
         self.joins += 1
@@ -352,6 +394,31 @@ class DistributedDSG:
         self.planner.remove_node(key)
         self._apply_ops(self.planner.last_churn_ops)
         self.leaves += 1
+
+    def crash(self, key: Key) -> int:
+        """Crash-stop failure of ``key``: no goodbye, then structural repair.
+
+        The process dies immediately through :meth:`Simulator.crash` — its
+        ``on_retire`` hook never fires, its links go dark, and the node can
+        never re-enter — and the overlay is then repaired with the *same*
+        Section IV-G departure plan a graceful leave would execute (the
+        membership repair does not depend on the departed node's
+        cooperation; only the goodbye does).  Repair is immediate, so the
+        planner-equivalence invariants hold after every crash; the
+        deferred-repair window (routing around dark hops before any repair)
+        is exercised by the router-based failure arena
+        (:mod:`repro.distributed.failover`).
+
+        Returns the number of repair ops executed (the wave's repair cost).
+        """
+        self.sim.crash(key)
+        self.processes.pop(key, None)
+        self.planner.remove_node(key)
+        ops = self.planner.last_churn_ops
+        self._apply_ops(ops)
+        self.crashes += 1
+        self.repair_ops += len(ops)
+        return len(ops)
 
     def run_scenario(self, scenario: Scenario) -> DistributedDSGReport:
         """Serve a whole :class:`~repro.workloads.scenarios.Scenario`."""

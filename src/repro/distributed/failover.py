@@ -1,0 +1,286 @@
+"""Crash-stop failure arena: dark windows, route-around, repair, integrity.
+
+The other drivers in this package treat departures as *graceful*: the
+overlay is rewired in the same breath as the process retires, so no router
+ever holds a stale neighbour.  This module runs the opposite regime — the
+one the k-redundant tables exist for.  A :func:`failure_scenario
+<repro.workloads.scenarios.failure_scenario>` schedule is executed as a
+sequence of **waves**, each of which is the full crash-stop lifecycle:
+
+1. **crash burst** — at quiescence, every :class:`~repro.workloads.scenarios.CrashEvent`
+   of the wave kills its node through :meth:`Simulator.crash
+   <repro.simulation.Simulator.crash>`: links dark, no ``on_retire``
+   goodbye, no re-entry.  The skip-graph mirror is *not* touched — the
+   survivors' view of the world is now wrong, which is the point.
+2. **dark window** — the wave's requests are injected (staggered over
+   consecutive rounds) and routed while the holes are still open.  A
+   router whose queued hop lost its link marks the neighbour dark and
+   re-forwards through its k-redundant table
+   (:meth:`NeighborTable.next_hop <repro.distributed.routing_protocol.NeighborTable.next_hop>`),
+   so every request to a *surviving* key is delivered by route-around,
+   while a request to a crashed key strands at the hole's edge and is
+   counted as a ``failed_request`` (never a drop, never an exception).
+3. **repair wave** — :func:`repair_crashes
+   <repro.workloads.scenarios.repair_crashes>` excises the crashed keys
+   from the graph and closes every level list up over them under
+   redundancy ``k`` (restoring ``network == skip_graph_network(graph, k)``
+   exactly), and the surviving routers whose neighbourhood changed get
+   fresh :class:`~repro.distributed.routing_protocol.NeighborTable`
+   snapshots.
+4. **integrity sweep** — :func:`verify_skip_graph_integrity
+   <repro.skipgraph.integrity.verify_skip_graph_integrity>` audits the
+   repaired structure *and* the live network against it; the arena's
+   standing invariant is that every sweep comes back clean.
+
+Because crashes land only at quiescent wave boundaries and the routers'
+flow control gates every send on the current link set, the arena runs with
+``strict_congest`` *and* ``strict_links`` both on: a congestion violation
+or an illegal send raises at the offending round.  Requests are conserved
+by construction — ``delivered + failed == injected`` holds per wave, with
+zero message drops.
+
+``benchmarks/bench_e16_failures.py`` runs this arena at 4096 nodes and
+publishes the delivered/failed/repair-cost accounting as a schema-v4
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.routing_protocol import (
+    NeighborTable,
+    install_routing,
+    skip_graph_network,
+)
+from repro.simulation import Simulator, SimulatorConfig
+from repro.skipgraph.build import build_balanced_skip_graph
+from repro.skipgraph.integrity import verify_skip_graph_integrity
+from repro.skipgraph.node import Key
+from repro.skipgraph.skipgraph import SkipGraph
+from repro.workloads.scenarios import (
+    CrashEvent,
+    RequestEvent,
+    Scenario,
+    apply_crash,
+    repair_crashes,
+)
+
+__all__ = [
+    "FailureArenaReport",
+    "FailureWaveReport",
+    "run_failure_arena",
+    "segment_waves",
+]
+
+
+@dataclass
+class FailureWaveReport:
+    """One crash burst + dark-window batch + repair + sweep."""
+
+    index: int
+    crashes: int
+    requests: int
+    delivered: int
+    failed: int
+    route_arounds: int
+    dropped_messages: int
+    repair_links: int
+    tables_refreshed: int
+    rounds: int
+    integrity_violations: List[str] = field(default_factory=list)
+
+    @property
+    def conserved(self) -> bool:
+        """Every injected request was either delivered or counted failed."""
+        return self.delivered + self.failed == self.requests
+
+
+@dataclass
+class FailureArenaReport:
+    """Outcome of one :func:`run_failure_arena` execution."""
+
+    scenario: str
+    n: int
+    k: int
+    waves: List[FailureWaveReport]
+    rounds: int
+    messages: int
+    total_bits: int
+    max_message_bits: int
+    congestion_violations: int
+    dropped_messages: int
+
+    @property
+    def crashes(self) -> int:
+        return sum(wave.crashes for wave in self.waves)
+
+    @property
+    def requests(self) -> int:
+        return sum(wave.requests for wave in self.waves)
+
+    @property
+    def delivered(self) -> int:
+        return sum(wave.delivered for wave in self.waves)
+
+    @property
+    def failed(self) -> int:
+        return sum(wave.failed for wave in self.waves)
+
+    @property
+    def route_arounds(self) -> int:
+        return sum(wave.route_arounds for wave in self.waves)
+
+    @property
+    def repair_links(self) -> int:
+        return sum(wave.repair_links for wave in self.waves)
+
+    @property
+    def tables_refreshed(self) -> int:
+        return sum(wave.tables_refreshed for wave in self.waves)
+
+    @property
+    def conserved(self) -> bool:
+        return all(wave.conserved for wave in self.waves)
+
+    @property
+    def integrity_clean(self) -> bool:
+        return all(not wave.integrity_violations for wave in self.waves)
+
+
+def segment_waves(scenario: Scenario) -> List[Tuple[List[Key], List[Tuple[Key, Key]]]]:
+    """Split a failure schedule into ``(crash keys, requests)`` waves.
+
+    A wave is a maximal run of :class:`~repro.workloads.scenarios.CrashEvent`
+    followed by a maximal run of :class:`~repro.workloads.scenarios.RequestEvent`
+    (either part may be empty: a schedule that opens with traffic yields a
+    crash-free baseline wave, and a trailing burst yields a request-free
+    one).  Join/leave events are rejected — graceful churn belongs to the
+    other arenas.
+    """
+    waves: List[Tuple[List[Key], List[Tuple[Key, Key]]]] = []
+    crashes: List[Key] = []
+    requests: List[Tuple[Key, Key]] = []
+    for event in scenario.events:
+        if isinstance(event, CrashEvent):
+            if requests:
+                waves.append((crashes, requests))
+                crashes, requests = [], []
+            crashes.append(event.key)
+        elif isinstance(event, RequestEvent):
+            requests.append((event.source, event.destination))
+        else:
+            raise ValueError(
+                f"failure arena schedules contain only crashes and requests, got {event!r}"
+            )
+    if crashes or requests:
+        waves.append((crashes, requests))
+    return waves
+
+
+def run_failure_arena(
+    scenario: Scenario,
+    k: int = 2,
+    seed: Optional[int] = None,
+    stagger: int = 32,
+    graph: Optional[SkipGraph] = None,
+    max_rounds: int = 1_000_000,
+) -> FailureArenaReport:
+    """Execute a failure schedule wave by wave on a fresh CONGEST engine.
+
+    ``k`` is the redundancy the network is built with and the tables route
+    around with; ``stagger`` bounds how many requests are injected per
+    round (they still interleave freely once in flight).  ``graph``
+    defaults to the balanced start topology over the scenario's initial
+    keys.  Both strict modes are on: the arena proves its claims by
+    *raising* on a congestion violation or an illegal send, not by
+    counting them after the fact.
+    """
+    if graph is None:
+        graph = build_balanced_skip_graph(scenario.initial_keys)
+    network = skip_graph_network(graph, k=k)
+    sim = Simulator(
+        network,
+        SimulatorConfig(seed=seed, strict_congest=True, strict_links=True, max_rounds=max_rounds),
+    )
+    routers = install_routing(sim, graph, k=k)
+    sim.run()  # start the (idle) population so waves begin from quiescence
+
+    def delivered_total() -> int:
+        # Crashed routers stay in our dict with frozen counters, so the
+        # per-wave delta never loses a completion to a later crash.
+        return sum(router.completed for router in routers.values())
+
+    def route_around_total() -> int:
+        return sum(router.route_arounds for router in routers.values())
+
+    waves: List[FailureWaveReport] = []
+    for index, (crash_keys, requests) in enumerate(segment_waves(scenario)):
+        base_delivered = delivered_total()
+        base_failed = sim.metrics.failed_requests
+        base_route_arounds = route_around_total()
+        base_drops = sim.metrics.dropped_messages
+        base_round = sim.round
+
+        for key in crash_keys:
+            apply_crash(sim, graph, key)
+
+        injected = 0
+        for offset in range(0, len(requests), max(1, stagger)):
+            batch = requests[offset : offset + max(1, stagger)]
+            target_round = sim.round + offset // max(1, stagger)
+
+            def inject(s: Simulator, batch=batch) -> None:
+                for source, destination in batch:
+                    router = routers[source]
+                    router.requests.append(destination)
+                    router.done = False
+
+            sim.schedule(target_round, inject)
+            injected += len(batch)
+        if injected:
+            sim.run()
+
+        repair_links = 0
+        tables_refreshed = 0
+        if crash_keys:
+            affected, repair_links = repair_crashes(sim, graph, crash_keys, k=k)
+            for key in affected:
+                router = routers.get(key)
+                if router is None or key in sim.crashed:
+                    continue
+                router.table = NeighborTable(graph, key, k=k)
+                router.dark.difference_update(crash_keys)
+                tables_refreshed += 1
+
+        violations = verify_skip_graph_integrity(graph, sim.network, redundancy=k)
+        waves.append(
+            FailureWaveReport(
+                index=index,
+                crashes=len(crash_keys),
+                requests=injected,
+                delivered=delivered_total() - base_delivered,
+                failed=sim.metrics.failed_requests - base_failed,
+                route_arounds=route_around_total() - base_route_arounds,
+                dropped_messages=sim.metrics.dropped_messages - base_drops,
+                repair_links=repair_links,
+                tables_refreshed=tables_refreshed,
+                rounds=sim.round - base_round,
+                integrity_violations=violations,
+            )
+        )
+
+    metrics = sim.metrics
+    return FailureArenaReport(
+        scenario=scenario.name,
+        n=len(scenario.initial_keys),
+        k=k,
+        waves=waves,
+        rounds=metrics.rounds,
+        messages=metrics.total_messages,
+        total_bits=metrics.total_bits,
+        max_message_bits=metrics.max_message_bits,
+        congestion_violations=metrics.congestion_violations,
+        dropped_messages=metrics.dropped_messages,
+    )

@@ -36,6 +36,7 @@ insertions; a churn op patches a bounded neighbourhood).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -63,6 +64,7 @@ __all__ = [
     "make_router",
     "networks_equal",
     "patch_network",
+    "repair_crash_links",
     "run_routing_protocol",
     "skip_graph_network",
     "trace_route",
@@ -100,27 +102,73 @@ class NeighborTable:
     :meth:`next_hop`, so the Appendix B semantics live in exactly one
     place — the distributed == centralized routing-distance guarantee
     depends on it.
+
+    With ``k > 1`` the table is *k-redundant* (the bami exemplar's
+    ``extend_skip_graph_neighbourhood``): it keeps the ``k`` nearest list
+    members per side per level, nearest first, so a route can step around
+    a crashed primary neighbour (``dark`` argument of :meth:`next_hop`)
+    instead of stranding.  Local state stays ``O(k log n)`` words.  With
+    the default ``k = 1`` the table and :meth:`next_hop` behave exactly as
+    before redundancy existed.
     """
 
-    def __init__(self, graph: SkipGraph, key: Key) -> None:
+    def __init__(self, graph: SkipGraph, key: Key, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"redundancy k must be >= 1, got {k}")
         self.key = key
+        self.k = k
         self.levels: Dict[int, Tuple[Optional[Key], Optional[Key]]] = {}
+        #: level -> (nearest-first left candidates, nearest-first right candidates)
+        self.candidates: Dict[int, Tuple[List[Key], List[Key]]] = {}
         top = graph.singleton_level(key)
+        bits = graph.membership(key).bits
         for level in range(0, top + 1):
-            self.levels[level] = graph.neighbors(key, level)
+            if level > len(bits):
+                lefts: List[Key] = []
+                rights: List[Key] = []
+            else:
+                members = graph.list_at(level, bits[:level] if level else ())
+                index = bisect_left(members, key)
+                lefts = members[max(0, index - k) : index][::-1]
+                rights = members[index + 1 : index + 1 + k]
+            self.candidates[level] = (lefts, rights)
+            self.levels[level] = (
+                lefts[0] if lefts else None,
+                rights[0] if rights else None,
+            )
         self.top_level = top
 
-    def next_hop(self, destination: Key, level: int) -> Tuple[Optional[Key], int]:
-        """Greedy next hop and the level it uses, or ``(None, -1)`` if stuck."""
+    def size_words(self) -> int:
+        """Table size in words (for the per-node memory audit)."""
+        return sum(len(lefts) + len(rights) for lefts, rights in self.candidates.values())
+
+    def next_hop(
+        self,
+        destination: Key,
+        level: int,
+        dark: Optional[Set[Key]] = None,
+    ) -> Tuple[Optional[Key], int]:
+        """Greedy next hop and the level it uses, or ``(None, -1)`` if stuck.
+
+        ``dark`` nodes (known-crashed neighbours) are skipped in favour of
+        the next-nearest candidate on the same side — which never
+        overshoots more than the primary would, so greedy progress (and
+        hence loop freedom) is preserved.  A request whose destination
+        itself is dark eventually strands here: every detour candidate
+        beyond the destination overshoots, every level runs out, and the
+        caller reports a failed request.
+        """
         ascending = destination > self.key
         current_level = min(level, self.top_level)
         while current_level >= 0:
-            left, right = self.levels.get(current_level, (None, None))
-            candidate = right if ascending else left
-            if candidate is not None:
+            lefts, rights = self.candidates.get(current_level, ([], []))
+            for candidate in rights if ascending else lefts:
                 overshoots = candidate > destination if ascending else candidate < destination
-                if not overshoots:
-                    return candidate, current_level
+                if overshoots:
+                    break
+                if dark is not None and candidate in dark:
+                    continue
+                return candidate, current_level
             current_level -= 1
         return None, -1
 
@@ -143,10 +191,23 @@ class _RouterProcess(NodeProcess):
         #: Last forwarding decision per destination (for path reconstruction
         #: under concurrent routes; ``result`` only keeps the latest one).
         self.forwards: Dict[Key, Tuple[Key, int]] = {}
+        #: Neighbours observed crashed (their link vanished at flush time).
+        self.dark: Set[Key] = set()
+        #: Hops re-routed around a dark neighbour (repair-cost accounting).
+        self.route_arounds = 0
+        #: Routes stranded at this node (every remaining candidate dark).
+        self.failed = 0
+        self._unreported_failures = 0
         self.done = not self.requests
 
     def memory_words(self) -> int:
-        return 2 * len(self.table.levels) + 3 + len(self.requests) + 2 * len(self.outgoing)
+        return (
+            self.table.size_words()
+            + 3
+            + len(self.requests)
+            + 2 * len(self.outgoing)
+            + len(self.dark)
+        )
 
     def on_start(self, ctx: RoundContext) -> None:
         self._act(ctx)
@@ -173,22 +234,48 @@ class _RouterProcess(NodeProcess):
             else:
                 self._forward(destination, self.table.top_level)
         self._flush(ctx)
+        if self._unreported_failures:
+            ctx.report_failure(self._unreported_failures)
+            self._unreported_failures = 0
         self.done = not (self.requests or self.outgoing)
 
     def _forward(self, destination: Key, level: int) -> None:
-        next_hop, used_level = self.table.next_hop(destination, level)
+        next_hop, used_level = self.table.next_hop(destination, level, dark=self.dark)
         if next_hop is None:
             self.result = "stuck"
+            self.failed += 1
+            self._unreported_failures += 1
             return
         self.outgoing.append((next_hop, {"destination": destination, "level": used_level}))
         self.forwards[destination] = (next_hop, used_level)
         self.result = ("forwarded", next_hop, used_level)
 
     def _flush(self, ctx: RoundContext) -> None:
+        """One send per live neighbour; dark hops are re-routed on the spot.
+
+        Liveness is judged by local knowledge only — the node's current
+        link set (``ctx.neighbors()``), the CONGEST analogue of a failed
+        connection.  A queued hop whose link vanished marks the receiver
+        dark and the payload is re-forwarded through the k-redundant
+        table; the dark set only grows, so the re-route loop terminates.
+        """
+        if not self.outgoing:
+            return
+        live = ctx.neighbors()
         used = set()
         keep: Deque[Tuple[Key, dict]] = deque()
-        while self.outgoing:
-            receiver, payload = self.outgoing.popleft()
+        pending, self.outgoing = self.outgoing, deque()
+        while pending:
+            receiver, payload = pending.popleft()
+            if receiver not in live:
+                self.dark.add(receiver)
+                self.route_arounds += 1
+                self._forward(payload["destination"], payload["level"])
+                # The re-routed hop (if any) must face the same liveness
+                # check, so fold it back into this drain.
+                pending.extend(self.outgoing)
+                self.outgoing.clear()
+                continue
             if receiver in used:
                 keep.append((receiver, payload))
                 continue
@@ -197,13 +284,23 @@ class _RouterProcess(NodeProcess):
         self.outgoing = keep
 
 
-def skip_graph_network(graph: SkipGraph) -> Network:
+def skip_graph_network(graph: SkipGraph, k: int = 1) -> Network:
     """Network with one link per pair of level-adjacent skip graph nodes.
 
     Every level at which a pair is adjacent is recorded as a label on the
     (single physical) link, so churn rewiring can retract adjacency one
     level at a time (:func:`repro.workloads.scenarios.replay_scenario`).
+
+    ``k > 1`` builds the *k-redundant* overlay of the failure arena: every
+    pair within list distance ``k`` of each other (per level) is linked,
+    with the same ``level<d>`` label, so a route can physically step to
+    the next-nearest list member when its primary neighbour crashes.  The
+    incremental maintenance in :func:`patch_network` assumes the default
+    ``k = 1`` convention; a k-redundant network under *crash* churn is
+    maintained by :func:`repair_crash_links` instead.
     """
+    if k < 1:
+        raise ValueError(f"redundancy k must be >= 1, got {k}")
     network = Network()
     for key in graph.keys:
         network.add_node(key)
@@ -214,7 +311,63 @@ def skip_graph_network(graph: SkipGraph) -> Network:
             for neighbor in (left, right):
                 if neighbor is not None:
                     network.add_link(key, neighbor, label=f"level{level}")
+    if k > 1:
+        base = graph.keys
+        for distance in range(2, k + 1):
+            for index in range(len(base) - distance):
+                network.add_link(base[index], base[index + distance], label="level0")
+        for level in range(1, graph.height()):
+            for members in graph.lists_at_level(level).values():
+                for distance in range(2, k + 1):
+                    for index in range(len(members) - distance):
+                        network.add_link(
+                            members[index], members[index + distance], label=f"level{level}"
+                        )
     return network
+
+
+def repair_crash_links(network: Network, graph: SkipGraph, key: Key, k: int = 1) -> Tuple[Set[Key], int]:
+    """Close every list up over crashed ``key`` under redundancy ``k``.
+
+    ``graph`` is the topology mirror that still contains the crashed node
+    (the crash removed it from the *network* only — the structural repair
+    is exactly this call); the node is removed from the graph and every
+    level list is re-closed so that ``network == skip_graph_network(graph, k)``
+    holds again: pairs whose in-list distance dropped to ``<= k`` when the
+    hole closed gain the level's link.  Removal can only shrink distances,
+    so no existing link ever needs retraction.
+
+    Returns ``(affected keys, links added)`` — the keys whose
+    :class:`NeighborTable` must be refreshed, and the repair cost the
+    failure arena charges for the wave.
+    """
+    bits = graph.membership(key).bits
+    holes = []  # (level, nearest-first lefts, nearest-first rights)
+    for level in range(0, len(bits) + 1):
+        members = graph.list_at(level, bits[:level])
+        index = bisect_left(members, key)
+        if index >= len(members) or members[index] != key:
+            continue
+        lefts = members[max(0, index - k) : index][::-1]
+        rights = members[index + 1 : index + 1 + k]
+        holes.append((level, lefts, rights))
+    apply_op(graph, NodeLeaveOp(key))
+    if network.has_node(key):
+        network.remove_node(key)
+    affected: Set[Key] = set()
+    links_added = 0
+    for level, lefts, rights in holes:
+        label = f"level{level}"
+        affected.update(lefts)
+        affected.update(rights)
+        for i, left in enumerate(lefts):
+            for j, right in enumerate(rights):
+                if i + j + 1 > k:
+                    break
+                if label not in network.labels(left, right):
+                    network.add_link(left, right, label=label)
+                    links_added += 1
+    return affected, links_added
 
 
 def _splice_into_level(network: Network, graph: SkipGraph, key: Key, level: int, affected: Set[Key]) -> None:
@@ -343,31 +496,33 @@ def install_routing(
     simulator: Simulator,
     graph: SkipGraph,
     requests: Mapping[Key, Sequence[Key]] | None = None,
+    k: int = 1,
 ) -> Dict[Key, _RouterProcess]:
     """Register a router process per skip graph node on ``simulator``.
 
     ``requests`` maps source keys to the destinations they initiate (one
     per round, in order).  The simulator's network must already contain the
-    skip-graph links (:func:`skip_graph_network`); on a reused engine,
-    retire the previous generation first (``simulator.retire_all()``).
+    skip-graph links (:func:`skip_graph_network`, built with the same
+    ``k``); on a reused engine, retire the previous generation first
+    (``simulator.retire_all()``).
     """
     requests = requests or {}
     processes: Dict[Key, _RouterProcess] = {}
     for key in graph.keys:
-        process = _RouterProcess(key, NeighborTable(graph, key), requests.get(key, ()))
+        process = _RouterProcess(key, NeighborTable(graph, key, k=k), requests.get(key, ()))
         processes[key] = process
         simulator.add_process(process)
     return processes
 
 
-def make_router(graph: SkipGraph, key: Key, requests: Sequence[Key] = ()) -> _RouterProcess:
+def make_router(graph: SkipGraph, key: Key, requests: Sequence[Key] = (), k: int = 1) -> _RouterProcess:
     """A router process for ``key`` with a fresh table snapshot of ``graph``.
 
     The process factory churn arenas hand to
     :func:`~repro.workloads.scenarios.replay_scenario` so joining nodes can
     route as soon as their initialization round has run.
     """
-    return _RouterProcess(key, NeighborTable(graph, key), requests)
+    return _RouterProcess(key, NeighborTable(graph, key, k=k), requests)
 
 
 def trace_route(processes: Mapping[Key, _RouterProcess], source: Key, destination: Key) -> List[Key]:

@@ -14,6 +14,12 @@ their first round) and retire mid-run, scheduled callbacks rewire the
 network between rounds, and the per-round cost follows the *active set*
 (not-done processes plus delivery receivers) rather than the population.
 
+Failures are first-class alongside churn: ``Simulator.crash`` kills a node
+crash-stop (links dark, in-flight messages counted as drops, no
+``on_retire`` goodbye, no re-entry), and protocol-level request failures
+reported through ``RoundContext.report_failure`` are counted separately
+from per-message drops (``failed_requests`` vs ``dropped_messages``).
+
 Public classes
 --------------
 ``Simulator``

@@ -41,7 +41,14 @@ Process lifecycle (churn):
   set (its ``result`` stays readable through :meth:`results`).  Removing a
   node from the network retires its process automatically at the next
   round boundary, so runs quiesce under departures instead of waiting
-  forever on a process that can no longer act.
+  forever on a process that can no longer act.  Graceful retirement —
+  explicit or auto — fires :meth:`NodeProcess.on_retire` once.
+* **crash** — :meth:`Simulator.crash` is the crash-stop failure op: the
+  node's links go dark immediately, in-flight messages to it become
+  counted drops, its process is removed *without* the ``on_retire``
+  callback, and the node is banned from re-entering (``add_process``
+  rejects it).  A crash is distinguishable from a leave precisely by the
+  missing goodbye.
 
 Churn and other externally driven events are injected with
 :meth:`Simulator.schedule`: a callback registered for round ``r`` runs at
@@ -135,6 +142,8 @@ class Simulator:
         self._not_done: Dict[Hashable, None] = {}
         # Processes added after the run started, awaiting their on_start.
         self._pending_start: List[Hashable] = []
+        # Crash-stop failures: nodes killed by crash() can never re-enter.
+        self._crashed: set = set()
         # Stats of the upcoming round, pre-created when a start phase needs
         # to attribute drops before the round executes (step() reuses it).
         self._current_stats: Optional[RoundStats] = None
@@ -151,6 +160,8 @@ class Simulator:
         initialization round — with sends delivered the round after.
         """
         node = process.node_id
+        if node in self._crashed:
+            raise SimulationError(f"node {node!r} crashed and cannot re-enter the simulation")
         if not self.network.has_node(node):
             raise LinkError(f"node {node!r} is not part of the network")
         if node in self._processes:
@@ -175,7 +186,17 @@ class Simulator:
         dropped (and recorded) when their links disappear or when delivery
         finds no process.  Its ``result`` remains visible in
         :meth:`results`.  The node may re-join later with a fresh process.
+
+        This is the *graceful* departure path: the departing process gets
+        its :meth:`~NodeProcess.on_retire` goodbye.  Crash-stop failures go
+        through :meth:`crash`, which never fires the hook.
         """
+        process = self._remove_process(node)
+        process.on_retire()
+        return process
+
+    def _remove_process(self, node: Hashable) -> NodeProcess:
+        """Shared teardown of retire/crash: unregister without callbacks."""
         process = self._processes.pop(node, None)
         if process is None:
             raise SimulationError(f"node {node!r} has no live process to retire")
@@ -186,6 +207,28 @@ class Simulator:
             # not inherit the stale queue entry (it would start twice).
             self._pending_start = [queued for queued in self._pending_start if queued != node]
         self._retired[node] = process
+        return process
+
+    def crash(self, node: Hashable) -> Optional[NodeProcess]:
+        """Kill ``node`` crash-stop: links dark, no goodbye, no re-entry.
+
+        The node is marked crashed *before* it leaves the network, so the
+        auto-retire sweep (:meth:`_sync_after_callbacks`) can never mistake
+        it for a graceful departure and fire ``on_retire``.  All incident
+        links are removed with the node; messages in flight towards it are
+        dropped and counted (``dropped_messages``) at the next delivery
+        plan, exactly like churn-induced losses — a crash is never a
+        :class:`LinkError`.  The process's ``result`` stays readable, but
+        :meth:`add_process` permanently rejects the node.
+        """
+        if node in self._crashed:
+            raise SimulationError(f"node {node!r} already crashed")
+        self._crashed.add(node)
+        process = self._processes.get(node)
+        if process is not None:
+            self._remove_process(node)
+        if self.network.has_node(node):
+            self.network.remove_node(node)
         return process
 
     def retire_all(self) -> None:
@@ -222,6 +265,11 @@ class Simulator:
     def retired(self) -> Dict[Hashable, NodeProcess]:
         """Processes retired by churn (or explicitly), keyed by node."""
         return dict(self._retired)
+
+    @property
+    def crashed(self) -> "frozenset":
+        """Nodes killed by :meth:`crash`; permanently banned from re-entry."""
+        return frozenset(self._crashed)
 
     @property
     def round(self) -> int:
@@ -291,7 +339,7 @@ class Simulator:
                 process = self._processes.get(node)
                 if process is None:  # retired before it ever started
                     continue
-                process.on_start(self._context(node, outbox_sink))
+                process.on_start(self._context(node, outbox_sink, stats))
                 started_now.add(node)
                 self._after_invoke(node, process)
 
@@ -304,7 +352,7 @@ class Simulator:
             inbox = deliveries.get(node)
             if process.done and not inbox:
                 continue
-            process.on_round(self._context(node, outbox_sink), inbox or [])
+            process.on_round(self._context(node, outbox_sink, stats), inbox or [])
             self._after_invoke(node, process)
 
         self._pending.extend(self._validate_outbox(outbox_sink, stats))
@@ -317,7 +365,12 @@ class Simulator:
             self._scheduled[self._round] = leftovers + self._scheduled.get(self._round, [])
 
     # -------------------------------------------------------------- internals
-    def _context(self, node: Hashable, outbox_sink: List[Message]) -> RoundContext:
+    def _context(
+        self,
+        node: Hashable,
+        outbox_sink: List[Message],
+        stats: Optional[RoundStats] = None,
+    ) -> RoundContext:
         return RoundContext(
             node_id=node,
             round_index=self._round,
@@ -325,6 +378,7 @@ class Simulator:
             rng=self._rngs[node],
             send_fn=outbox_sink.append,
             report_memory_fn=self.metrics.record_memory,
+            report_failure_fn=lambda count=1: self.metrics.record_failure(stats, count),
         )
 
     def _after_invoke(self, node: Hashable, process: NodeProcess) -> None:

@@ -11,6 +11,12 @@ structural DSG engine both rely on the counters gathered here:
   while a message was in flight, deliveries to departed nodes) — kept
   *separate* from congestion violations so E11's "violations must be zero"
   check is not corrupted by churn-induced drops,
+* failed requests (protocol-level outcomes reported through
+  :meth:`~repro.simulation.node_process.RoundContext.report_failure`: a
+  route that can make no progress because every remaining hop is dark, or
+  whose destination crashed) — a *third* counter, distinct from drops: a
+  drop is one lost message, a failure is one lost request, and the failure
+  arena (``bench_e16_failures``) reports delivered-vs-failed from it,
 * per-node peak memory estimate in words (as reported by processes).
 
 A single :class:`MetricsCollector` can span several protocol executions on
@@ -37,6 +43,7 @@ class RoundStats:
     max_message_bits: int = 0
     congestion_violations: int = 0
     dropped_messages: int = 0
+    failed_requests: int = 0
 
 
 @dataclass
@@ -58,6 +65,7 @@ class MetricsCollector:
     max_message_bits: int = 0
     congestion_violations: int = 0
     dropped_messages: int = 0
+    failed_requests: int = 0
     per_round: List[RoundStats] = field(default_factory=list)
     peak_memory_words: Dict[Hashable, int] = field(default_factory=dict)
 
@@ -89,6 +97,17 @@ class MetricsCollector:
         if stats is not None:
             stats.dropped_messages += count
         self.dropped_messages += count
+
+    def record_failure(self, stats: "RoundStats | None", count: int = 1) -> None:
+        """Record ``count`` failed requests (protocol-level, not per message).
+
+        Like :meth:`record_drop`, ``stats`` may be ``None`` for failures
+        reported outside a running round (a request whose destination is
+        already known-crashed at initiation time).
+        """
+        if stats is not None:
+            stats.failed_requests += count
+        self.failed_requests += count
 
     def record_memory(self, node: Hashable, words: int) -> None:
         current = self.peak_memory_words.get(node, 0)
@@ -123,6 +142,7 @@ class MetricsCollector:
             "max_message_bits": self.max_message_bits,
             "congestion_violations": self.congestion_violations,
             "dropped_messages": self.dropped_messages,
+            "failed_requests": self.failed_requests,
             "max_memory_words": self.max_memory_words,
         }
 
@@ -142,4 +162,5 @@ class MetricsCollector:
             "max_message_bits": max((stats.max_message_bits for stats in rounds), default=0),
             "congestion_violations": sum(stats.congestion_violations for stats in rounds),
             "dropped_messages": sum(stats.dropped_messages for stats in rounds),
+            "failed_requests": sum(stats.failed_requests for stats in rounds),
         }

@@ -11,7 +11,10 @@ the previous round and calls :meth:`NodeProcess.on_round` with a
 * ``ctx.neighbors()`` --- the node's current neighbours in the network,
 * ``ctx.rng`` --- a node-local deterministic RNG,
 * ``ctx.report_memory(words)`` --- report the node's current state size so
-  that the ``O(log n)``-memory claim can be audited (experiment E11).
+  that the ``O(log n)``-memory claim can be audited (experiment E11),
+* ``ctx.report_failure()`` --- declare one protocol-level request failed
+  (counted as ``failed_requests``, distinct from per-message drops; used by
+  the crash-stop failure arena when a route runs out of live hops).
 
 Processes signal completion by setting :attr:`NodeProcess.done`; the
 simulator stops when every process is done and no message is in flight.
@@ -28,6 +31,11 @@ injected by ``Simulator.schedule``) receives :meth:`NodeProcess.on_start`
 at the beginning of its first round; a process retired by churn (its node
 left the network, or ``Simulator.retire`` was called) is never invoked
 again but keeps its ``result`` readable.
+
+Graceful retirement fires :meth:`NodeProcess.on_retire` exactly once so a
+protocol can hand off state; a *crash* (``Simulator.crash``) never does —
+a crashed node gets no goodbye, which is the whole point of the
+crash-stop failure model.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ class RoundContext:
         rng: random.Random,
         send_fn: Callable[[Message], None],
         report_memory_fn: Callable[[Hashable, int], None],
+        report_failure_fn: Optional[Callable[[int], None]] = None,
     ) -> None:
         self._node_id = node_id
         self._round_index = round_index
@@ -58,6 +67,7 @@ class RoundContext:
         self._rng = rng
         self._send_fn = send_fn
         self._report_memory_fn = report_memory_fn
+        self._report_failure_fn = report_failure_fn
 
     @property
     def node_id(self) -> Hashable:
@@ -83,6 +93,11 @@ class RoundContext:
         """Report the current size of the node's protocol state in words."""
         self._report_memory_fn(self._node_id, words)
 
+    def report_failure(self, count: int = 1) -> None:
+        """Declare ``count`` protocol-level requests failed this round."""
+        if self._report_failure_fn is not None:
+            self._report_failure_fn(count)
+
 
 class NodeProcess:
     """Base class for protocol logic executed by one node.
@@ -99,6 +114,15 @@ class NodeProcess:
 
     def on_start(self, ctx: RoundContext) -> None:
         """Called once before round 0 messages are exchanged."""
+
+    def on_retire(self) -> None:
+        """Called when the node retires *gracefully* (leave, not crash).
+
+        The engine fires this from ``Simulator.retire`` and from the
+        auto-retire sweep that follows a churn callback removing the node
+        from the network.  ``Simulator.crash`` deliberately skips it: a
+        crashed node must not get a chance to hand off state.
+        """
 
     def on_round(self, ctx: RoundContext, inbox: List[Message]) -> None:
         """Called every round with the messages delivered this round."""

@@ -29,14 +29,21 @@ from repro.skipgraph.build import (
 from repro.skipgraph.routing import RoutingResult, route
 from repro.skipgraph.tree_view import TreeNode, tree_view
 from repro.skipgraph.balance import a_balance_violations, check_a_balance
+from repro.skipgraph.integrity import (
+    IntegrityError,
+    assert_skip_graph_integrity,
+    verify_skip_graph_integrity,
+)
 
 __all__ = [
+    "IntegrityError",
     "MembershipVector",
     "RoutingResult",
     "SkipGraph",
     "SkipGraphNode",
     "TreeNode",
     "a_balance_violations",
+    "assert_skip_graph_integrity",
     "build_balanced_skip_graph",
     "build_skip_graph",
     "build_skip_graph_from_membership",
@@ -44,4 +51,5 @@ __all__ = [
     "common_prefix_length",
     "route",
     "tree_view",
+    "verify_skip_graph_integrity",
 ]

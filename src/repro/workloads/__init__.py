@@ -48,15 +48,19 @@ from repro.workloads.sequences import (
     zipf_with_drift,
 )
 from repro.workloads.scenarios import (
+    CrashEvent,
     JoinEvent,
     LeaveEvent,
     RequestEvent,
     Scenario,
     ScenarioReplay,
     ScenarioReport,
+    apply_crash,
     apply_join,
     apply_leave,
     churn_scenario,
+    failure_scenario,
+    repair_crashes,
     replay_scenario,
     run_scenario,
     scale_scenario,
@@ -72,6 +76,7 @@ from repro.workloads.paper_examples import (
 from repro.workloads.traces import load_trace, save_trace
 
 __all__ = [
+    "CrashEvent",
     "JoinEvent",
     "LeaveEvent",
     "RequestEvent",
@@ -80,9 +85,12 @@ __all__ = [
     "ScenarioReport",
     "WORKLOADS",
     "adversarial_for_static",
+    "apply_crash",
     "apply_join",
     "apply_leave",
     "churn_scenario",
+    "failure_scenario",
+    "repair_crashes",
     "replay_scenario",
     "community_traffic",
     "fig2_access_pattern",

@@ -7,6 +7,10 @@ over a fixed node population.  A :class:`Scenario` generalises it to an
 * :class:`RequestEvent` — a communication request ``(source, destination)``,
 * :class:`JoinEvent` — a new peer enters (Section IV-G node addition),
 * :class:`LeaveEvent` — a peer departs (Section IV-G node removal),
+* :class:`CrashEvent` — a peer fails crash-stop: no goodbye, links dark,
+  repaired only by the survivors (:func:`failure_scenario` generates
+  these; the semantic difference from a leave exists only at the
+  message-passing layer, where the dark window is observable),
 
 which is what production overlays actually look like: traffic interleaved
 with membership churn.  Because joins and leaves change the population the
@@ -63,16 +67,20 @@ from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 
 __all__ = [
+    "CrashEvent",
     "JoinEvent",
     "LeaveEvent",
     "RequestEvent",
     "Scenario",
     "ScenarioReplay",
     "ScenarioReport",
+    "apply_crash",
     "apply_join",
     "apply_leave",
     "apply_local_op",
     "churn_scenario",
+    "failure_scenario",
+    "repair_crashes",
     "replay_scenario",
     "run_scenario",
     "scale_scenario",
@@ -105,7 +113,14 @@ class LeaveEvent:
     key: Key
 
 
-Event = Union[RequestEvent, JoinEvent, LeaveEvent]
+@dataclass(frozen=True)
+class CrashEvent:
+    """The peer with ``key`` fails crash-stop (no goodbye, links go dark)."""
+
+    key: Key
+
+
+Event = Union[RequestEvent, JoinEvent, LeaveEvent, CrashEvent]
 
 
 @dataclass
@@ -128,6 +143,10 @@ class Scenario:
     @property
     def leave_count(self) -> int:
         return sum(1 for event in self.events if isinstance(event, LeaveEvent))
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, CrashEvent))
 
 
 @dataclass
@@ -160,6 +179,7 @@ class ScenarioReport:
     batches: int
     costs: Optional[List[int]] = None
     algorithm: str = "dsg"
+    crashes: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -203,7 +223,7 @@ def run_scenario(
     # delta is exactly this scenario's contribution — keeping every report
     # field scoped to the scenario even when the adapter is reused.
     base_ws = algorithm.working_set_bound()
-    joins = leaves = batches = 0
+    joins = leaves = crashes = batches = 0
     max_height = algorithm.height()
     costs: Optional[List[int]] = [] if keep_costs else None
     pending: List[Request] = []
@@ -228,6 +248,13 @@ def run_scenario(
             flush()
             algorithm.join(event.key)
             joins += 1
+        elif isinstance(event, CrashEvent):
+            # A centralized structure has no dark window: the crash
+            # degenerates to an immediate repair, i.e. a leave minus the
+            # goodbye (which only the message-passing layer can observe).
+            flush()
+            algorithm.leave(event.key)
+            crashes += 1
         else:
             flush()
             algorithm.leave(event.key)
@@ -259,6 +286,7 @@ def run_scenario(
         batches=batches,
         costs=costs,
         algorithm=algorithm.name,
+        crashes=crashes,
     )
 
 
@@ -355,6 +383,52 @@ def apply_leave(sim: Simulator, graph: SkipGraph, key: Key) -> None:
     apply_local_op(sim, graph, NodeLeaveOp(key))
 
 
+def apply_crash(sim: Simulator, graph: SkipGraph, key: Key) -> None:
+    """Crash ``key`` on the simulator; the ``graph`` mirror keeps the node.
+
+    This is the *failure* half of the crash/leave distinction: the engine's
+    :meth:`~repro.simulation.Simulator.crash` kills the process without its
+    ``on_retire`` goodbye, darkens its links and bans re-entry — but the
+    skip-graph mirror is deliberately left untouched.  Until a repair wave
+    runs (:func:`repair_crashes`), the graph still *believes* the node
+    exists, which is exactly the dark window the surviving routers must
+    route around; the graph/network views legitimately diverge during it,
+    so run the integrity sweep only after repair.
+    """
+    sim.crash(key)
+
+
+def repair_crashes(
+    sim: Simulator,
+    graph: SkipGraph,
+    keys: Sequence[Key],
+    k: int = 1,
+) -> Tuple[set, int]:
+    """Excise crashed ``keys`` from the graph and close the network over them.
+
+    Runs :func:`~repro.distributed.routing_protocol.repair_crash_links` for
+    each crashed key in order: the key leaves the graph through the local-op
+    kernel and the survivors within list distance ``k`` of the hole are
+    relinked, restoring ``network == skip_graph_network(graph, k)`` exactly.
+    Returns the union of surviving keys whose link neighbourhood changed
+    (the set a driver must refresh routing tables for) and the total number
+    of links added.
+    """
+    # Lazy for the same circularity reason as apply_local_op.
+    from repro.distributed.routing_protocol import repair_crash_links
+
+    affected: set = set()
+    links_added = 0
+    for key in keys:
+        touched, added = repair_crash_links(sim.network, graph, key, k=k)
+        affected.update(touched)
+        links_added += added
+    # A later repair in the same wave may have excised a key an earlier
+    # repair reported as affected; only survivors need table refreshes.
+    affected.difference_update(keys)
+    return affected, links_added
+
+
 @dataclass
 class ScenarioReplay:
     """What :func:`replay_scenario` scheduled onto the simulator."""
@@ -365,6 +439,7 @@ class ScenarioReplay:
     requests: int
     first_round: int
     last_round: int
+    crashes: int = 0
 
 
 def replay_scenario(
@@ -391,6 +466,9 @@ def replay_scenario(
       network; ``process_factory(key)`` (if given) builds the joiner's
       process, registered so it receives ``on_start`` in its join round.
     * :class:`LeaveEvent` — :func:`apply_leave` rewires and retires.
+    * :class:`CrashEvent` — :func:`apply_crash` kills the process crash-stop
+      (no rewiring: the dark window lasts until the caller runs
+      :func:`repair_crashes`).
     * :class:`RequestEvent` — handed to ``on_request(sim, event)`` when
       provided (e.g. to enqueue a routing request on the source process);
       skipped otherwise (no round consumed).
@@ -407,7 +485,7 @@ def replay_scenario(
     rng = make_rng(seed if seed is not None else scenario.params.get("seed"))
     cursor = sim.round if start_round is None else max(start_round, sim.round)
     first = cursor
-    joins = leaves = requests = 0
+    joins = leaves = crashes = requests = 0
     scheduled_any = False
     for event in scenario.events:
         if isinstance(event, RequestEvent):
@@ -430,6 +508,13 @@ def replay_scenario(
                         s.add_process(process)
 
             sim.schedule(cursor, join_callback)
+        elif isinstance(event, CrashEvent):
+            crashes += 1
+
+            def crash_callback(s: Simulator, key=event.key) -> None:
+                apply_crash(s, graph, key)
+
+            sim.schedule(cursor, crash_callback)
         else:
             leaves += 1
 
@@ -446,6 +531,7 @@ def replay_scenario(
         requests=requests,
         first_round=first,
         last_round=cursor - spacing if scheduled_any else first,
+        crashes=crashes,
     )
 
 
@@ -712,5 +798,163 @@ def scale_scenario(
             "cross_pairs": cross_pair_count,
             "flashes": flash_count,
             "churn_rate": churn_rate,
+        },
+    )
+
+
+def failure_scenario(
+    n: int = 256,
+    length: int = 2000,
+    seed: Optional[int] = None,
+    rng=None,
+    mode: str = "independent",
+    crash_rate: float = 0.01,
+    rack_count: int = 16,
+    rack_failures: int = 2,
+    flash_size: int = 8,
+    stale_fraction: float = 0.05,
+    adjacent_crash_limit: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Traffic interleaved with crash-stop failures (no joins, no goodbyes).
+
+    The schedule has ``length`` slots over keys ``1..n``.  Failures never
+    take the population below ``n // 2`` (half the overlay survives, the
+    regime the route-around machinery is built for), and arrive in one of
+    three shapes:
+
+    * ``"independent"`` — each slot is a :class:`CrashEvent` of a uniform
+      alive peer with probability ``crash_rate`` (fail-stop background
+      attrition);
+    * ``"racks"`` — keys are dealt into ``rack_count`` racks by a random
+      shuffle (so rack placement is uncorrelated with key order, i.e. a
+      rack failure punches scattered holes in every level list), and
+      ``rack_failures`` whole racks crash at evenly spaced points of the
+      schedule, every member in consecutive events (a correlated burst);
+    * ``"flash"`` — a single burst of ``flash_size`` simultaneous crashes
+      at the schedule's midpoint (a flash disconnect).
+
+    Every other slot is a :class:`RequestEvent` whose source is always
+    alive; with probability ``stale_fraction`` (once anyone has crashed)
+    the destination is a *crashed* peer — a request issued by a client
+    holding a stale reference.  Those are the schedule's intended
+    failures: the message-passing arena counts them as ``failed_requests``
+    while every surviving-key request must still be delivered.  Because
+    stale destinations are no longer in a centralized structure after the
+    crash-as-leave repair, :func:`run_scenario` accepts failure scenarios
+    only with ``stale_fraction = 0``; the dark-window semantics live in
+    :mod:`repro.distributed.failover`.
+
+    ``adjacent_crash_limit`` encodes the tolerance assumption of a
+    k-redundant overlay: between two repair waves it survives at most
+    ``k - 1`` *consecutive* (in key order) failures — a wider hole has no
+    surviving list member within stepping distance, and routes to keys
+    beyond it legitimately strand.  When set, a victim whose crash would
+    produce a run longer than the limit within the current unrepaired
+    burst is skipped (it survives); ``None`` leaves failures unguarded.
+    The arena benchmark passes ``k - 1`` so its every-survivor-delivered
+    gate holds by the redundancy guarantee, not by luck.
+
+    Pass ``rng`` (any :mod:`random`-compatible generator) to draw from an
+    existing deterministic stream; otherwise one is built from ``seed``
+    via :func:`~repro.simulation.rng.make_rng`.  Given the same stream the
+    schedule — and therefore every delivered/failed count downstream — is
+    identical.
+    """
+    if mode not in ("independent", "racks", "flash"):
+        raise KeyError(f"unknown failure mode {mode!r}")
+    if n < 4:
+        raise ValueError("failure scenario expects at least 4 peers")
+    if rng is None:
+        rng = make_rng(seed)
+    alive = list(range(1, n + 1))
+    crashed: List[Key] = []
+    floor = max(2, n // 2)
+
+    # Correlated modes pre-place their bursts; crashes beyond the survivor
+    # floor are dropped (never reordered), keeping the schedule valid.
+    burst_slots: Dict[int, List[Key]] = {}
+    if mode == "racks":
+        shuffled = list(alive)
+        rng.shuffle(shuffled)
+        racks = [shuffled[index::rack_count] for index in range(rack_count)]
+        doomed = rng.sample(range(rack_count), min(rack_failures, rack_count))
+        for index, rack in enumerate(doomed):
+            slot = int((index + 0.5) * length / (len(doomed) + 0.5))
+            burst_slots[slot] = list(racks[rack])
+    elif mode == "flash":
+        burst_slots[length // 2] = rng.sample(alive, min(flash_size, n - floor))
+
+    # Guard state: a burst is the run of crashes since the last request
+    # (exactly what one repair wave later closes up).  ``snapshot`` is the
+    # alive order at burst start, ``recent`` the victims taken so far.
+    snapshot: List[Key] = []
+    positions: Dict[Key, int] = {}
+    recent: set = set()
+    in_burst = False
+
+    def take_victim(key: Key) -> bool:
+        nonlocal in_burst
+        if not in_burst:
+            snapshot[:] = alive
+            positions.clear()
+            positions.update((member, index) for index, member in enumerate(snapshot))
+            recent.clear()
+            in_burst = True
+        if adjacent_crash_limit is not None:
+            run = 1
+            index = positions[key] - 1
+            while index >= 0 and snapshot[index] in recent:
+                run += 1
+                index -= 1
+            index = positions[key] + 1
+            while index < len(snapshot) and snapshot[index] in recent:
+                run += 1
+                index += 1
+            if run > adjacent_crash_limit:
+                return False
+        recent.add(key)
+        alive.remove(key)
+        crashed.append(key)
+        events.append(CrashEvent(key))
+        return True
+
+    events: List[Event] = []
+    for slot in range(length):
+        burst = burst_slots.get(slot)
+        if burst is not None:
+            for key in burst:
+                if len(alive) <= floor:
+                    break
+                take_victim(key)
+            continue
+        if mode == "independent" and len(alive) > floor and rng.random() < crash_rate:
+            take_victim(rng.choice(alive))
+            continue
+        in_burst = False
+        source = rng.choice(alive)
+        if crashed and rng.random() < stale_fraction:
+            destination = rng.choice(crashed)
+        else:
+            destination = rng.choice(alive)
+            while destination == source:
+                destination = rng.choice(alive)
+        events.append(RequestEvent(source, destination))
+
+    return Scenario(
+        name=name or f"failures-{mode}",
+        initial_keys=list(range(1, n + 1)),
+        events=events,
+        params={
+            "n": n,
+            "length": length,
+            "seed": seed,
+            "mode": mode,
+            "crash_rate": crash_rate,
+            "rack_count": rack_count,
+            "rack_failures": rack_failures,
+            "flash_size": flash_size,
+            "stale_fraction": stale_fraction,
+            "adjacent_crash_limit": adjacent_crash_limit,
         },
     )

@@ -1,0 +1,158 @@
+"""Crash-stop failure-arena tests: route-around, repair exactness, determinism (PR 6).
+
+Covers the distributed half of the failure model:
+
+* a request injected during the dark window (after a crash, before the
+  repair wave) is still delivered by routing *around* the dark hop via
+  the k-redundant neighbour table;
+* a request to a crashed key strands and is counted as a
+  ``failed_request`` — never as a message drop;
+* :func:`repair_crash_links` is exact: after any crash sequence the live
+  network equals a from-scratch ``skip_graph_network(graph, k)`` rebuild;
+* :func:`segment_waves` carves a schedule into crash-burst/request-batch
+  waves and rejects join/leave churn;
+* same-seed arena runs are bit-for-bit deterministic in their
+  delivered/failed/route-around accounting (the flaky-seed hardening
+  satellite).
+"""
+
+import pytest
+
+from repro.distributed import (
+    networks_equal,
+    repair_crash_links,
+    run_failure_arena,
+    segment_waves,
+    skip_graph_network,
+)
+from repro.simulation.rng import make_rng
+from repro.skipgraph import build_balanced_skip_graph
+from repro.workloads import CrashEvent, JoinEvent, RequestEvent, Scenario, failure_scenario
+
+pytestmark = pytest.mark.failure
+
+
+def _hand_scenario(events, n=16, name="hand"):
+    return Scenario(name=name, initial_keys=list(range(1, n + 1)), events=list(events))
+
+
+class TestRouteAround:
+    def test_requests_route_around_a_dark_hop(self):
+        """Crash 8, then route across the hole from sources whose level-1
+        hop towards the destination *is* 8: the stale tables still point at
+        it, so the forward finds the link dark and re-routes via the k=2
+        fallback."""
+        scenario = _hand_scenario(
+            [
+                CrashEvent(8),
+                RequestEvent(6, 9),
+                RequestEvent(12, 7),
+                RequestEvent(2, 14),
+            ]
+        )
+        report = run_failure_arena(scenario, k=2, seed=11)
+        assert report.delivered == 3
+        assert report.failed == 0
+        assert report.route_arounds >= 1
+        assert report.conserved and report.integrity_clean
+        assert report.dropped_messages == 0
+
+    def test_stale_destination_fails_cleanly(self):
+        """A request *to* the crashed key cannot be delivered; it must be
+        counted as a failed request — not dropped, not raised."""
+        scenario = _hand_scenario(
+            [
+                CrashEvent(8),
+                RequestEvent(5, 8),
+                RequestEvent(5, 6),
+            ]
+        )
+        report = run_failure_arena(scenario, k=2, seed=11)
+        assert report.delivered == 1
+        assert report.failed == 1
+        assert report.conserved
+        assert report.dropped_messages == 0
+        assert report.congestion_violations == 0
+
+    def test_repair_wave_restores_exact_network(self):
+        scenario = _hand_scenario([CrashEvent(8), CrashEvent(12), RequestEvent(7, 9)], n=24)
+        report = run_failure_arena(scenario, k=2, seed=11)
+        assert report.repair_links > 0
+        assert report.tables_refreshed > 0
+        assert report.integrity_clean  # sweep compares network to the rebuild
+
+
+class TestRepairExactness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_repair_matches_rebuild_after_crash_sequence(self, k):
+        """After any (tolerance-respecting) crash sequence, incremental
+        repair leaves ``network == skip_graph_network(graph, k)`` exactly."""
+        graph = build_balanced_skip_graph(range(1, 49))
+        network = skip_graph_network(graph, k=k)
+        rng = make_rng(k)
+        crashed = []
+        for _ in range(6):
+            survivors = [key for key in graph.keys if key not in crashed]
+            key = survivors[rng.randrange(1, len(survivors) - 1)]
+            network.remove_node(key)  # the crash: links go dark first
+            repair_crash_links(network, graph, key, k=k)
+            crashed.append(key)
+            assert networks_equal(network, skip_graph_network(graph, k=k))
+
+    def test_repair_reports_affected_survivors_only(self):
+        graph = build_balanced_skip_graph(range(1, 33))
+        network = skip_graph_network(graph, k=2)
+        network.remove_node(16)
+        affected, links_added = repair_crash_links(network, graph, 16, k=2)
+        assert 16 not in affected
+        assert affected and links_added > 0
+        assert all(graph.has_node(key) for key in affected)
+
+
+class TestSegmentWaves:
+    def test_leading_requests_form_a_crash_free_baseline_wave(self):
+        scenario = _hand_scenario(
+            [
+                RequestEvent(1, 2),
+                CrashEvent(3),
+                CrashEvent(4),
+                RequestEvent(1, 2),
+                CrashEvent(5),
+            ]
+        )
+        waves = segment_waves(scenario)
+        assert waves == [
+            ([], [(1, 2)]),
+            ([3, 4], [(1, 2)]),
+            ([5], []),
+        ]
+
+    def test_membership_churn_is_rejected(self):
+        scenario = _hand_scenario([RequestEvent(1, 2), JoinEvent(99)])
+        with pytest.raises(ValueError):
+            segment_waves(scenario)
+
+
+class TestDeterminism:
+    def test_seed_and_explicit_rng_agree(self):
+        by_seed = failure_scenario(n=64, length=200, seed=7, mode="independent")
+        by_rng = failure_scenario(n=64, length=200, rng=make_rng(7), mode="independent")
+        assert by_seed.events == by_rng.events
+        assert by_seed.initial_keys == by_rng.initial_keys
+
+    @pytest.mark.parametrize("mode", ["independent", "racks", "flash"])
+    def test_same_seed_arena_runs_are_identical(self, mode):
+        """The flaky-seed hardening gate: two runs from the same seed agree
+        on every delivered/failed/route-around count, wave by wave."""
+        kwargs = dict(n=64, length=160, seed=13, mode=mode, adjacent_crash_limit=1)
+        reports = [
+            run_failure_arena(failure_scenario(**kwargs), k=2, seed=13) for _ in range(2)
+        ]
+        first, second = reports
+        assert first.delivered == second.delivered
+        assert first.failed == second.failed
+        assert first.route_arounds == second.route_arounds
+        assert first.repair_links == second.repair_links
+        assert first.rounds == second.rounds
+        assert first.messages == second.messages
+        assert [w.__dict__ for w in first.waves] == [w.__dict__ for w in second.waves]

@@ -1,0 +1,151 @@
+"""Property suite for the graph-integrity invariant checker (PR 6).
+
+:func:`~repro.skipgraph.verify_skip_graph_integrity` is the standing
+invariant the failure arena runs after every repair wave, so its own
+contract needs pinning from both sides:
+
+* **no false positives** — seed graphs (random and balanced memberships),
+  self-adjusted graphs after serving skewed traffic, and dummy-laden
+  graphs produced by random kernel-op sequences all verify clean, with and
+  without their mirrored network (at every redundancy the network was
+  built with);
+* **no false negatives** — each corruption class the checker exists for
+  (a broken level-list link, an unsorted base list, a membership vector
+  rewritten behind the incremental indexes' back, and a network that
+  drifted from the graph) is seeded deliberately and must be caught.
+"""
+
+import pytest
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.distributed.routing_protocol import skip_graph_network
+from repro.simulation.rng import make_rng
+from repro.skipgraph import (
+    IntegrityError,
+    MembershipVector,
+    SkipGraphNode,
+    assert_skip_graph_integrity,
+    build_balanced_skip_graph,
+    build_skip_graph,
+    verify_skip_graph_integrity,
+)
+from repro.workloads.sequences import generate_workload
+
+pytestmark = pytest.mark.failure
+
+
+def _adjusted_graph(n=48, length=300, seed=5):
+    """A DSG topology after serving skewed traffic (promotes/demotes/dummies)."""
+    dsg = DynamicSkipGraph(range(1, n + 1), config=DSGConfig(seed=seed))
+    for source, destination in generate_workload("temporal", list(range(1, n + 1)), length, seed=seed):
+        dsg.request(source, destination)
+    return dsg.graph
+
+
+def _dummy_laden_graph(n=32, seed=9, dummies=6):
+    """A graph with dummy nodes spliced between random neighbours."""
+    graph = build_skip_graph(range(1, n + 1), rng=make_rng(seed))
+    rng = make_rng(seed + 1)
+    for _ in range(dummies):
+        keys = graph.keys
+        index = rng.randrange(len(keys) - 1)
+        lower, upper = keys[index], keys[index + 1]
+        dummy_key = float(lower) + (float(upper) - float(lower)) * 0.5
+        if graph.has_node(dummy_key):
+            continue
+        bits = graph.membership(lower).bits
+        depth = rng.randint(0, len(bits))
+        graph.add_node(
+            SkipGraphNode(
+                key=dummy_key,
+                membership=MembershipVector(bits[:depth] + (rng.randint(0, 1),)),
+                is_dummy=True,
+            )
+        )
+    return graph
+
+
+class TestCleanGraphsVerify:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_seed_graph_is_clean(self, seed):
+        graph = build_skip_graph(range(1, 40), rng=make_rng(seed))
+        assert verify_skip_graph_integrity(graph) == []
+
+    def test_balanced_graph_is_clean_with_network(self):
+        graph = build_balanced_skip_graph(range(1, 65))
+        for k in (1, 2, 3):
+            network = skip_graph_network(graph, k=k)
+            assert verify_skip_graph_integrity(graph, network, redundancy=k) == []
+
+    def test_adjusted_graph_is_clean(self):
+        graph = _adjusted_graph()
+        assert verify_skip_graph_integrity(graph) == []
+        assert verify_skip_graph_integrity(graph, skip_graph_network(graph)) == []
+
+    def test_dummy_laden_graph_is_clean(self):
+        graph = _dummy_laden_graph()
+        assert verify_skip_graph_integrity(graph) == []
+
+    def test_assert_form_passes_silently(self):
+        assert_skip_graph_integrity(build_balanced_skip_graph(range(1, 17)))
+
+
+class TestSeededCorruptionIsCaught:
+    def test_broken_level_link(self):
+        graph = build_balanced_skip_graph(range(1, 33))
+        graph.list_at(1, (0,))  # populate the (lazy) cache entry
+        target = next(
+            entry for entry, members in graph._list_cache.items()
+            if entry[0] >= 1 and len(members) >= 3
+        )
+        # Swap two members of a cached level list: the doubly-linked walk
+        # through SkipGraph.neighbors no longer matches the derivation.
+        members = graph._list_cache[target]
+        members[0], members[1] = members[1], members[0]
+        violations = verify_skip_graph_integrity(graph)
+        assert violations
+        with pytest.raises(IntegrityError):
+            assert_skip_graph_integrity(graph)
+
+    def test_unsorted_base_list(self):
+        graph = build_balanced_skip_graph(range(1, 17))
+        base = graph._sorted_keys
+        base[0], base[1] = base[1], base[0]
+        violations = verify_skip_graph_integrity(graph)
+        assert any("not strictly sorted" in violation for violation in violations)
+
+    def test_membership_prefix_mismatch(self):
+        graph = build_balanced_skip_graph(range(1, 17))
+        node = graph.nodes()[0]
+        bits = node.membership.bits
+        # Rewrite a vector behind the incremental indexes' back: the
+        # from-scratch prefix recount must disagree with the maintained one.
+        node.membership = MembershipVector(tuple(1 - bit for bit in bits))
+        violations = verify_skip_graph_integrity(graph)
+        assert any("recount" in violation for violation in violations)
+
+    def test_network_drift_missing_and_spurious_links(self):
+        graph = build_balanced_skip_graph(range(1, 33))
+        network = skip_graph_network(graph, k=2)
+        u, v = graph.keys[0], graph.keys[1]
+        network.remove_link(u, v)
+        far = graph.keys[-1]
+        network.add_link(u, far, label="level0")
+        violations = verify_skip_graph_integrity(graph, network, redundancy=2)
+        assert any("missing link" in violation for violation in violations)
+        assert any("unexpected link" in violation for violation in violations)
+
+    def test_wrong_redundancy_is_flagged(self):
+        graph = build_balanced_skip_graph(range(1, 33))
+        network = skip_graph_network(graph, k=2)
+        assert verify_skip_graph_integrity(graph, network, redundancy=2) == []
+        assert verify_skip_graph_integrity(graph, network, redundancy=1) != []
+
+    def test_report_is_capped(self):
+        graph = build_balanced_skip_graph(range(1, 65))
+        network = skip_graph_network(graph)
+        for u, v in list(network.edges())[:20]:
+            network.remove_link(u, v)
+        violations = verify_skip_graph_integrity(graph, network, max_violations=5)
+        assert len(violations) == 6  # 5 violations + the cap notice
+        assert "capped" in violations[-1]

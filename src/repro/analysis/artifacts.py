@@ -33,7 +33,9 @@ The JSON schema is flat and versioned (``schema_version``); artifacts are
 self-describing so the ``compare`` CLI needs nothing but the files.
 Version 2 added the ``protocols`` section, version 3 the ``plan_sizes``
 section, version 4 the ``failures`` section (:class:`FailureResult`, the
-crash-stop arena rows of ``bench_e16_failures``); older files load as
+crash-stop arena rows of ``bench_e16_failures``), version 5 the
+``pipelines`` section (:class:`PipelineResult`, the conflict-aware
+pipelined-serving rows of ``bench_e17_pipeline``); older files load as
 artifacts without the newer rows.
 """
 
@@ -48,6 +50,7 @@ __all__ = [
     "AlgorithmResult",
     "BenchmarkArtifact",
     "FailureResult",
+    "PipelineResult",
     "PlanSizeStats",
     "ProtocolResult",
     "load_artifact",
@@ -56,7 +59,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -280,6 +283,66 @@ class FailureResult:
 
 
 @dataclass
+class PipelineResult:
+    """One pipelined-serving arena outcome (``bench_e17_pipeline``).
+
+    Parameters
+    ----------
+    name:
+        Row label (``sequential``, ``window-1``, ``window-8``, ...).
+    n:
+        Initial population of the arena.
+    window:
+        Configured in-flight depth (1 for the sequential reference).
+    requests:
+        Requests served (K of rounds-to-serve-K).
+    rounds:
+        Synchronous rounds to serve the whole schedule.
+    sequential_rounds:
+        The sequential driver's rounds on the same schedule — the
+        denominator of :attr:`speedup`.
+    max_in_flight:
+        Deepest overlap the conflict detector actually admitted.
+    conflict_stalls:
+        Head-of-line admissions refused because of a conflict-set overlap
+        (each stalled event counted once).
+    messages, congestion_violations, dropped_messages:
+        Traffic and the two must-be-zero safety counters.
+    total_cost:
+        Total Equation-1 cost charged by the pipelined execution.
+    matches_sequential:
+        Final topology AND total cost equal to the sequential reference.
+    wall_seconds:
+        Wall-clock simulation time for this row alone.
+    """
+
+    name: str
+    n: int
+    window: int
+    requests: int
+    rounds: int
+    sequential_rounds: int
+    max_in_flight: int
+    conflict_stalls: int
+    messages: int
+    congestion_violations: int
+    dropped_messages: int = 0
+    total_cost: int = 0
+    matches_sequential: bool = True
+    wall_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Sequential rounds over this row's rounds (higher is better)."""
+        return self.sequential_rounds / self.rounds if self.rounds else 0.0
+
+    @property
+    def rounds_per_request(self) -> float:
+        """Rounds per served request — the rounds-to-serve-K headline."""
+        return self.rounds / self.requests if self.requests else 0.0
+
+
+@dataclass
 class BenchmarkArtifact:
     """One benchmark run: config, timings, per-algorithm/protocol results, checks."""
 
@@ -291,6 +354,7 @@ class BenchmarkArtifact:
     protocols: List[ProtocolResult] = field(default_factory=list)
     plan_sizes: List[PlanSizeStats] = field(default_factory=list)
     failures: List[FailureResult] = field(default_factory=list)
+    pipelines: List[PipelineResult] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -314,6 +378,13 @@ class BenchmarkArtifact:
             if result.name == name:
                 return result
         raise KeyError(f"no failure arena {name!r} in artifact {self.benchmark!r}")
+
+    def pipeline(self, name: str) -> PipelineResult:
+        """Look up one pipelined-serving row by label."""
+        for result in self.pipelines:
+            if result.name == name:
+                return result
+        raise KeyError(f"no pipeline row {name!r} in artifact {self.benchmark!r}")
 
     @property
     def all_checks_passed(self) -> bool:
@@ -351,6 +422,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
     protocols = [ProtocolResult(**entry) for entry in data.get("protocols", [])]
     plan_sizes = [PlanSizeStats(**entry) for entry in data.get("plan_sizes", [])]
     failures = [FailureResult(**entry) for entry in data.get("failures", [])]
+    pipelines = [PipelineResult(**entry) for entry in data.get("pipelines", [])]
     return BenchmarkArtifact(
         benchmark=data["benchmark"],
         config=data.get("config", {}),
@@ -360,6 +432,7 @@ def load_artifact(path: Union[str, Path]) -> BenchmarkArtifact:
         protocols=protocols,
         plan_sizes=plan_sizes,
         failures=failures,
+        pipelines=pipelines,
         checks=data.get("checks", {}),
         schema_version=version,
     )
@@ -445,6 +518,22 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
                     f"| {result.crashes} | {result.requests} | {result.delivered} "
                     f"| {result.failed} | {result.route_arounds} | {result.repair_links} "
                     f"| {'clean' if result.integrity_clean else 'VIOLATED'} |"
+                )
+            lines.append("")
+        if artifact.pipelines:
+            lines.append(
+                "| pipeline | n | window | requests | rounds | rounds/req | speedup "
+                "| max in-flight | stalls | violations | drops | equivalent |"
+            )
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+            for result in artifact.pipelines:
+                lines.append(
+                    f"| {result.name} | {result.n} | {result.window} | {result.requests} "
+                    f"| {result.rounds} | {_format(result.rounds_per_request, 1)} "
+                    f"| {_format(result.speedup, 2)}x | {result.max_in_flight} "
+                    f"| {result.conflict_stalls} | {result.congestion_violations} "
+                    f"| {result.dropped_messages} "
+                    f"| {'yes' if result.matches_sequential else 'NO'} |"
                 )
             lines.append("")
         if artifact.plan_sizes:

@@ -48,7 +48,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import TYPE_CHECKING, Hashable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.membership import MembershipVector, common_prefix_length
 from repro.skipgraph.node import SkipGraphNode
 from repro.skipgraph.skipgraph import SkipGraph
 
@@ -65,7 +65,9 @@ __all__ = [
     "OpRecorder",
     "PromoteOp",
     "apply_op",
+    "apply_op_touched",
     "apply_ops",
+    "apply_ops_touched",
     "op_anchor",
     "op_from_payload",
     "op_to_payload",
@@ -171,6 +173,67 @@ def apply_ops(graph: SkipGraph, ops: Sequence[LocalOp]) -> None:
     """
     for op in ops:
         apply_op(graph, op)
+
+
+# ------------------------------------------------------------- target sets
+def apply_op_touched(graph: SkipGraph, op: LocalOp) -> set:
+    """Apply one op and return the keys whose links it rewires.
+
+    The returned set is the op's *bounded neighbourhood* — the same set
+    :func:`repro.distributed.routing_protocol.patch_network` reports as
+    affected when it rewires a live network for the op (property-tested
+    equal): the op's own key plus every list neighbour spliced against or
+    closed over, at every level the op reaches.  Because the splice flanks
+    of an insertion only exist after the node lands in its lists, the op is
+    applied as part of the extraction; drivers that need the touched region
+    of a plan *before* executing it on the real structure replay the plan
+    against a shadow copy of the pre-plan graph (the pipelined scheduler's
+    conflict detector does exactly that).
+    """
+    touched = {op.key}
+    if type(op) in (DummyInsertOp, NodeJoinOp):
+        apply_op(graph, op)
+        for level in range(len(op.bits) + 1):
+            for neighbor in graph.neighbors(op.key, level):
+                if neighbor is not None:
+                    touched.add(neighbor)
+    elif type(op) in (DummyRemoveOp, NodeLeaveOp):
+        for level in range(len(graph.membership(op.key)) + 1):
+            for neighbor in graph.neighbors(op.key, level):
+                if neighbor is not None:
+                    touched.add(neighbor)
+        apply_op(graph, op)
+    elif type(op) is PromoteOp or type(op) is DemoteOp:
+        old = graph.membership(op.key)
+        if type(op) is PromoteOp:
+            new = old.with_bit(op.level, op.bit)
+        else:
+            new = old.truncated(op.length)
+        keep = common_prefix_length(old, new)
+        for level in range(keep + 1, len(old) + 1):
+            for neighbor in graph.neighbors(op.key, level):
+                if neighbor is not None:
+                    touched.add(neighbor)
+        apply_op(graph, op)
+        for level in range(keep + 1, len(new) + 1):
+            for neighbor in graph.neighbors(op.key, level):
+                if neighbor is not None:
+                    touched.add(neighbor)
+    else:
+        raise TypeError(f"unknown local op {op!r}")
+    return touched
+
+
+def apply_ops_touched(graph: SkipGraph, ops: Sequence[LocalOp]) -> set:
+    """Replay a plan onto ``graph`` and return the union of touched keys.
+
+    The bulk form of :func:`apply_op_touched` — the write-set extractor the
+    pipelined distributed driver feeds its conflict detector with.
+    """
+    touched: set = set()
+    for op in ops:
+        touched |= apply_op_touched(graph, op)
+    return touched
 
 
 # ----------------------------------------------------------------- recorder

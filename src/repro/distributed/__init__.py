@@ -27,6 +27,11 @@ Protocols
     The full self-adjusting DSG: greedy routing plus the local-op plans of
     the kernel executed as O(log n)-bit messages, churn included
     (:mod:`repro.distributed.dsg_protocol`).
+``run_pipelined_dsg`` / ``PipelinedDSG``
+    Conflict-aware pipelined serving: up to ``window`` requests in flight
+    at once, admitted FIFO when their read/write conflict sets
+    (:mod:`repro.distributed.pipeline`) are disjoint, equivalence-tested
+    against the sequential driver's topology and Equation-1 cost.
 
 Each ``run_*`` entry point builds a fresh network and simulator; the
 matching ``install_*`` function registers a new process generation on an
@@ -69,8 +74,13 @@ from repro.distributed.dsg_protocol import (
     DistributedDSGReport,
     DistributedRequestOutcome,
     DSGProcess,
+    PipelinedDSG,
+    PipelinedDSGProcess,
+    PipelinedDSGReport,
     run_distributed_dsg,
+    run_pipelined_dsg,
 )
+from repro.distributed.pipeline import AdmissionRecord, ConflictSet, PipelineWindow
 from repro.distributed.broadcast_protocol import BroadcastResult, install_broadcast, run_list_broadcast
 from repro.distributed.sum_protocol import (
     SumProtocolResult,
@@ -91,6 +101,12 @@ __all__ = [
     "DistributedDSG",
     "DistributedDSGReport",
     "DistributedRequestOutcome",
+    "AdmissionRecord",
+    "ConflictSet",
+    "PipelineWindow",
+    "PipelinedDSG",
+    "PipelinedDSGProcess",
+    "PipelinedDSGReport",
     "FailureArenaReport",
     "FailureWaveReport",
     "NeighborTable",
@@ -103,6 +119,7 @@ __all__ = [
     "make_router",
     "run_amf_protocol",
     "run_distributed_dsg",
+    "run_pipelined_dsg",
     "run_failure_arena",
     "run_list_broadcast",
     "run_routing_protocol",

@@ -51,7 +51,7 @@ the ``c * log2 n`` bit budget.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.dsg import DSGConfig, DynamicSkipGraph
@@ -63,9 +63,21 @@ from repro.core.local_ops import (
     NodeJoinOp,
     NodeLeaveOp,
     PromoteOp,
+    apply_ops,
+    apply_ops_touched,
     op_anchor,
     op_from_payload,
     op_to_payload,
+)
+from repro.distributed.pipeline import (
+    PHASE_COMPLETED,
+    PHASE_DISSEMINATING,
+    PHASE_ROUTING,
+    AdmissionRecord,
+    ConflictSet,
+    PipelineEntry,
+    PipelineWindow,
+    entry_record,
 )
 from repro.distributed.routing_protocol import NeighborTable, networks_equal, skip_graph_network
 from repro.simulation import Message, NodeProcess, RoundContext, Simulator, SimulatorConfig
@@ -85,7 +97,11 @@ __all__ = [
     "DistributedDSG",
     "DistributedDSGReport",
     "DistributedRequestOutcome",
+    "PipelinedDSG",
+    "PipelinedDSGProcess",
+    "PipelinedDSGReport",
     "run_distributed_dsg",
+    "run_pipelined_dsg",
 ]
 
 
@@ -503,4 +519,324 @@ def run_distributed_dsg(
 ) -> DistributedDSGReport:
     """Execute ``scenario`` end to end on a fresh :class:`DistributedDSG`."""
     driver = DistributedDSG(scenario.initial_keys, config=config, seed=seed, strict=strict)
+    return driver.run_scenario(scenario)
+
+
+# --------------------------------------------------------------- pipelining
+class PipelinedDSGProcess(DSGProcess):
+    """A :class:`DSGProcess` that reports rid-tagged completions.
+
+    The sequential driver detects phase completion globally (quiescence of
+    the whole simulator), so :class:`DSGProcess` only keeps ``route_hops``
+    of the *last* route that terminated at the node.  With several requests
+    in flight that is ambiguous, so the pipelined driver tags every route
+    and op payload with the request id and each process records arrivals in
+    driver-shared ledgers: ``route_done[rid] = hops`` at the route's
+    destination, ``ops_done[rid] += 1`` at each op's anchor.  The extra
+    ``rid`` word keeps the payload O(1) words — well inside the
+    ``c * log2 n`` bit budget the strict arenas enforce
+    (:func:`~repro.core.local_ops.op_from_payload` ignores the extra key).
+    """
+
+    def __init__(
+        self,
+        key: Key,
+        graph: SkipGraph,
+        route_done: Dict[int, int],
+        ops_done: Dict[int, int],
+        k: int = 1,
+    ) -> None:
+        super().__init__(key, graph, k=k)
+        self._route_done = route_done
+        self._ops_done = ops_done
+
+    def initiate_tagged_route(self, destination: Key, rid: int) -> None:
+        """Start one rid-tagged route towards ``destination`` (driver hook)."""
+        self._relay(
+            "route", {"to": destination, "rid": rid, "lvl": self.table.top_level, "hops": 0}
+        )
+        self.done = not self.outgoing
+
+    def _arrive(self, kind: str, payload: dict) -> None:
+        super()._arrive(kind, payload)
+        rid = payload.get("rid")
+        if rid is None:
+            return
+        if kind == "route":
+            self._route_done[rid] = payload["hops"]
+        else:
+            self._ops_done[rid] = self._ops_done.get(rid, 0) + 1
+
+
+@dataclass
+class PipelinedDSGReport(DistributedDSGReport):
+    """A :class:`DistributedDSGReport` plus the pipeline's own accounting."""
+
+    window: int = 1
+    max_in_flight: int = 0
+    admitted: int = 0
+    conflict_stalls: int = 0
+    admission_trace: List[AdmissionRecord] = field(default_factory=list)
+
+
+class PipelinedDSG(DistributedDSG):
+    """Conflict-aware pipelined serving of the self-adjusting DSG.
+
+    Planning stays strictly sequential — the embedded planner serves events
+    in arrival order, so every plan, every ``d_{S_t}`` and the whole
+    Equation-1 accounting are byte-identical to the sequential driver's by
+    construction.  What overlaps is the *execution*: up to ``window``
+    planned events are in flight on the simulator at once, admitted FIFO
+    whenever their :class:`~repro.distributed.pipeline.ConflictSet` (route
+    path reads; op-touched region plus ``l_alpha`` members as writes) is
+    disjoint from everything already in flight.  Routes overlap routes
+    freely, and a request's op dissemination may overlap younger routes;
+    structural application (topology mirror, live links, routing tables,
+    process install/retire) happens only in arrival order and only at
+    dissemination-free boundaries, so no rewiring can strand an in-flight
+    message — the differential suite (``tests/distributed/test_pipeline.py``)
+    asserts final topology, per-request routing cost and total cost equal
+    the sequential driver's on every tested schedule, and that an
+    all-conflict schedule degrades to exactly the sequential round count.
+
+    The write sets are extracted by replaying each plan on a *shadow* copy
+    of the planner's pre-plan graph (:func:`~repro.core.local_ops.
+    apply_ops_touched`), which trails the planner by exactly one plan and
+    needs no per-request graph copies.
+    """
+
+    def __init__(
+        self,
+        keys,
+        config: Optional[DSGConfig] = None,
+        seed: Optional[int] = None,
+        max_rounds: int = 200_000,
+        strict: bool = False,
+        window: int = 8,
+    ) -> None:
+        self._route_done: Dict[int, int] = {}
+        self._ops_done: Dict[int, int] = {}
+        super().__init__(keys, config=config, seed=seed, max_rounds=max_rounds, strict=strict)
+        self.window = PipelineWindow(int(window))
+        #: Pre-plan shadow of the planner's graph (see the class docstring).
+        self._shadow = self.planner.graph.copy()
+        self._planned: Deque[PipelineEntry] = deque()
+        self._next_index = 0
+        self._max_rounds = max_rounds
+        self.admission_trace: List[AdmissionRecord] = []
+
+    # ------------------------------------------------------------------ serve
+    def request(self, source: Key, destination: Key) -> DistributedRequestOutcome:
+        """Serve one request (drains the pipeline — use run_scenario to overlap)."""
+        self._serve([RequestEvent(source, destination)])
+        return self.outcomes[-1]
+
+    def join(self, key: Key) -> None:
+        self._serve([JoinEvent(key)])
+
+    def leave(self, key: Key) -> None:
+        self._serve([LeaveEvent(key)])
+
+    def crash(self, key: Key) -> int:
+        # _serve always drains, so between calls nothing is in flight and
+        # the sequential crash path applies; only the shadow needs syncing.
+        count = super().crash(key)
+        apply_ops(self._shadow, self.planner.last_churn_ops)
+        return count
+
+    def run_scenario(self, scenario: Scenario) -> PipelinedDSGReport:
+        """Serve a whole scenario with up to ``window`` events in flight."""
+        self._serve(scenario.events)
+        return self.report()
+
+    # ----------------------------------------------------------------- report
+    def report(self) -> PipelinedDSGReport:
+        base = super().report()
+        values = {f.name: getattr(base, f.name) for f in fields(DistributedDSGReport)}
+        return PipelinedDSGReport(
+            **values,
+            window=self.window.depth,
+            max_in_flight=self.window.max_in_flight,
+            admitted=self.window.admitted,
+            conflict_stalls=self.window.conflict_stalls,
+            admission_trace=list(self.admission_trace),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _install(self, key: Key) -> None:
+        process = PipelinedDSGProcess(key, self.topology, self._route_done, self._ops_done)
+        self.processes[key] = process
+        self.sim.add_process(process)
+
+    def _serve(self, events) -> None:
+        """The pipeline loop: plan ahead, admit, step, absorb, apply."""
+        queue: Deque = deque(events)
+        window = self.window
+        start_round = self.sim.round
+        while queue or self._planned or window.entries:
+            # Plan ahead just past the window (planning is pure bookkeeping
+            # on the planner/shadow — no simulator rounds are consumed).
+            while queue and len(self._planned) <= window.depth:
+                self._planned.append(self._plan_event(queue.popleft()))
+            # FIFO admission: the oldest planned event blocks on conflict.
+            while self._planned and window.try_admit(self._planned[0]):
+                self._activate(self._planned.popleft())
+            if window.work_in_flight():
+                self.sim.step()
+                if self.sim.round - start_round > self._max_rounds:
+                    raise SimulationError(
+                        f"pipelined serve exceeded {self._max_rounds} rounds "
+                        "(an op dissemination lost work?)"
+                    )
+                self._absorb_completions()
+            self._apply_ready()
+
+    def _plan_event(self, event) -> PipelineEntry:
+        """Run the planner for one event and extract its conflict set."""
+        index = self._next_index
+        self._next_index += 1
+        if isinstance(event, RequestEvent):
+            source, destination = event.source, event.destination
+            graph = self.planner.graph
+            # The l_alpha region the transformation will restructure, read
+            # from the pre-plan graph (alpha is what _adjust computes).
+            alpha = graph.common_level(source, destination)
+            region = tuple(graph.list_of(source, alpha))
+            plan = self.planner.request(source, destination, keep_result=False)
+            ops = list(plan.ops or [])
+            touched = apply_ops_touched(self._shadow, ops)
+            if ops:
+                writes = frozenset(touched) | frozenset(region)
+            else:
+                writes = frozenset()
+            conflict = ConflictSet(reads=frozenset(plan.routing.path), writes=writes)
+            return PipelineEntry(
+                index=index,
+                kind="request",
+                rid=index,
+                conflict=conflict,
+                ops=ops,
+                source=source,
+                destination=destination,
+                plan=plan,
+            )
+        if isinstance(event, JoinEvent):
+            if event.key in self.sim.crashed:
+                raise SimulationError(f"key {event.key!r} crashed and cannot re-join")
+            self.planner.add_node(event.key)
+            kind = "join"
+        elif isinstance(event, LeaveEvent):
+            self.planner.remove_node(event.key)
+            kind = "leave"
+        else:
+            raise TypeError(f"unknown scenario event {event!r}")
+        ops = list(self.planner.last_churn_ops)
+        touched = apply_ops_touched(self._shadow, ops)
+        conflict = ConflictSet(writes=frozenset(touched) | {event.key})
+        return PipelineEntry(index=index, kind=kind, rid=index, conflict=conflict, ops=ops)
+
+    def _activate(self, entry: PipelineEntry) -> None:
+        """Start an admitted entry's simulator work (requests only).
+
+        Churn events consume no simulator rounds in the sequential driver
+        (Section IV-G plans are applied structurally between requests), so
+        here they complete instantly and wait in the window for their FIFO
+        application turn.
+        """
+        entry.admit_round = self.sim.round
+        if entry.kind == "request":
+            initiator = self.processes[entry.source]
+            self.sim.schedule(
+                self.sim.round,
+                lambda sim, p=initiator, d=entry.destination, r=entry.rid: (
+                    p.initiate_tagged_route(d, r)
+                ),
+            )
+            entry.phase = PHASE_ROUTING
+        else:
+            entry.phase = PHASE_COMPLETED
+            entry.complete_round = self.sim.round
+
+    def _absorb_completions(self) -> None:
+        """Advance in-flight entries whose simulator work finished."""
+        for entry in self.window.entries:
+            if entry.phase == PHASE_ROUTING and entry.rid in self._route_done:
+                hops = self._route_done.pop(entry.rid)
+                entry.measured = hops - 1
+                if entry.ops:
+                    payloads = []
+                    for op in entry.ops:
+                        anchor = op_anchor(op, self.topology)
+                        payloads.append(
+                            (anchor, {"to": anchor, "rid": entry.rid, **op_to_payload(op)})
+                        )
+                    initiator = self.processes[entry.source]
+                    self.sim.schedule(
+                        self.sim.round,
+                        lambda sim, p=initiator, pl=payloads: p.initiate_ops(pl),
+                    )
+                    entry.phase = PHASE_DISSEMINATING
+                else:
+                    entry.phase = PHASE_COMPLETED
+                    entry.complete_round = self.sim.round
+            elif entry.phase == PHASE_DISSEMINATING:
+                executed = self._ops_done.get(entry.rid, 0)
+                if executed > len(entry.ops):
+                    raise SimulationError(
+                        f"op dissemination over-delivered: {executed}/{len(entry.ops)} ops"
+                    )
+                if executed == len(entry.ops):
+                    self._ops_done.pop(entry.rid, None)
+                    entry.phase = PHASE_COMPLETED
+                    entry.complete_round = self.sim.round
+
+    def _apply_ready(self) -> None:
+        """Apply completed entries in arrival order, at safe boundaries.
+
+        Structural rewiring is deferred while *any* op dissemination is in
+        flight: op relays cross arbitrary keys, so removing a link or node
+        mid-flight could drop a message (routes are safe — their paths are
+        conflict-checked read sets, untouched by any admitted writer).
+        """
+        if self.window.dissemination_in_flight():
+            return
+        while True:
+            entry = self.window.pop_completed_head()
+            if entry is None:
+                return
+            entry.apply_round = self.sim.round
+            self._apply_ops(entry.ops)
+            if entry.kind == "request":
+                plan = entry.plan
+                outcome = DistributedRequestOutcome(
+                    source=entry.source,
+                    destination=entry.destination,
+                    alpha=plan.alpha,
+                    measured_distance=entry.measured,
+                    planned_distance=plan.routing.distance,
+                    transformation_rounds=plan.transformation_rounds,
+                    ops_executed=len(entry.ops),
+                    rounds=entry.complete_round - entry.admit_round,
+                )
+                self.outcomes.append(outcome)
+                self.total_cost += outcome.cost
+                self.total_routing += entry.measured
+            elif entry.kind == "join":
+                self.joins += 1
+            else:
+                self.leaves += 1
+            self.admission_trace.append(entry_record(entry))
+
+
+def run_pipelined_dsg(
+    scenario: Scenario,
+    config: Optional[DSGConfig] = None,
+    seed: Optional[int] = None,
+    strict: bool = False,
+    window: int = 8,
+) -> PipelinedDSGReport:
+    """Execute ``scenario`` end to end on a fresh :class:`PipelinedDSG`."""
+    driver = PipelinedDSG(
+        scenario.initial_keys, config=config, seed=seed, strict=strict, window=window
+    )
     return driver.run_scenario(scenario)

@@ -8,6 +8,7 @@ from repro.analysis.artifacts import (
     SCHEMA_VERSION,
     AlgorithmResult,
     BenchmarkArtifact,
+    PipelineResult,
     PlanSizeStats,
     ProtocolResult,
     load_artifact,
@@ -240,3 +241,70 @@ class TestPlanSizeArtifacts:
         assert "| plan sizes (workload) | requests |" in report
         assert "| scale-mix | 4 |" in report
         assert "75.0%" in report
+
+
+def pipeline_artifact():
+    return BenchmarkArtifact(
+        benchmark="e17_pipeline",
+        config={"n": 4096, "seed": 42},
+        wall_seconds=9.0,
+        pipelines=[
+            PipelineResult(
+                name="sequential", n=4096, window=1, requests=200, rounds=3000,
+                sequential_rounds=3000, max_in_flight=1, conflict_stalls=0,
+                messages=52000, congestion_violations=0, total_cost=4100,
+                wall_seconds=4.0,
+            ),
+            PipelineResult(
+                name="window-8", n=4096, window=8, requests=200, rounds=1000,
+                sequential_rounds=3000, max_in_flight=8, conflict_stalls=12,
+                messages=52000, congestion_violations=0, dropped_messages=0,
+                total_cost=4100, matches_sequential=True, wall_seconds=3.5,
+            ),
+        ],
+        checks={"pipelined_matches_sequential": True},
+    )
+
+
+class TestPipelineArtifacts:
+    def test_round_trip_preserves_pipeline_rows(self, tmp_path):
+        path = write_artifact(pipeline_artifact(), tmp_path)
+        loaded = load_artifact(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        row = loaded.pipeline("window-8")
+        assert row.window == 8
+        assert row.rounds == 1000 and row.sequential_rounds == 3000
+        assert row.max_in_flight == 8 and row.conflict_stalls == 12
+        assert row.matches_sequential
+        with pytest.raises(KeyError):
+            loaded.pipeline("missing")
+
+    def test_speedup_and_rounds_per_request(self):
+        row = pipeline_artifact().pipeline("window-8")
+        assert row.speedup == pytest.approx(3.0)
+        assert row.rounds_per_request == pytest.approx(5.0)
+        empty = PipelineResult(
+            name="idle", n=8, window=4, requests=0, rounds=0, sequential_rounds=0,
+            max_in_flight=0, conflict_stalls=0, messages=0, congestion_violations=0,
+        )
+        assert empty.speedup == 0.0 and empty.rounds_per_request == 0.0
+
+    def test_schema_v4_files_load_without_pipelines(self, tmp_path):
+        path = write_artifact(protocol_artifact(), tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 4
+        del data["pipelines"]
+        path.write_text(json.dumps(data))
+        loaded = load_artifact(path)
+        assert loaded.pipelines == []
+        assert loaded.protocol("routing").rounds == 205
+
+    def test_render_includes_pipeline_table(self):
+        report = render_comparison([pipeline_artifact()])
+        assert "| pipeline | n | window | requests | rounds |" in report
+        assert "| window-8 | 4096 | 8 | 200 | 1000 | 5.0 | 3.00x | 8 | 12 | 0 | 0 | yes |" in report
+
+    def test_divergent_row_flagged(self):
+        artifact = pipeline_artifact()
+        artifact.pipelines[1].matches_sequential = False
+        assert "| NO |" in render_comparison([artifact])

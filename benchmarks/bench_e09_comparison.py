@@ -83,6 +83,7 @@ def test_e09_scale_comparison(run_once):
     by_name = {report.algorithm: report for report in reports}
     ws_bound = by_name["dsg"].working_set_bound
     assert ws_bound > 0
+    phases_by_name = {algorithm.name: algorithm.phase_seconds() for algorithm in algorithms}
 
     results = []
     for report in reports:
@@ -100,6 +101,7 @@ def test_e09_scale_comparison(run_once):
                 final_height=report.final_height,
                 joins=report.joins,
                 leaves=report.leaves,
+                phases=phases_by_name.get(report.algorithm, {}),
             )
         )
 

@@ -94,7 +94,7 @@ else:
     REPLAY = dict(n=4_096, churn_length=400, route_pairs=16, seed=42)
 
 
-def _dsg_row(name, report):
+def _dsg_row(name, report, phases=None):
     return AlgorithmResult(
         name=name,
         requests=report.requests,
@@ -109,13 +109,14 @@ def _dsg_row(name, report):
         final_height=report.final_height,
         joins=report.joins,
         leaves=report.leaves,
+        phases=dict(phases) if phases else {},
     )
 
 
 def _serve_workload(name, scenario):
     adapter = DSGAdapter(keys=scenario.initial_keys, config=DSGConfig(seed=1))
     report = run_scenario(scenario, algorithm=adapter)
-    row = _dsg_row(name, report)
+    row = _dsg_row(name, report, phases=adapter.phase_seconds())
     plans = PlanSizeStats.from_histogram(name, adapter.plan_size_histogram())
     return adapter, report, row, plans
 
@@ -252,6 +253,23 @@ def test_e15_100k_arena(run_once):
             batched_report.costs == [cost.total for cost in sequential_run.costs]
             and batched.dsg.graph.membership_table() == sequential.dsg.graph.membership_table()
         )
+
+        # ---- batched adjustment kernel == reference appliers (PR 9) -----
+        kernel_off = DSGAdapter(
+            keys=parity.initial_keys,
+            config=DSGConfig(
+                seed=2,
+                use_batched_apply=False,
+                use_plan_compaction=False,
+                use_array_lists=False,
+            ),
+        )
+        kernel_off_report = run_scenario(parity, algorithm=kernel_off, keep_costs=True)
+        outcome["kernel_parity"] = (
+            batched_report.total_cost == kernel_off_report.total_cost
+            and batched_report.costs == kernel_off_report.costs
+            and batched.dsg.graph.membership_table() == kernel_off.dsg.graph.membership_table()
+        )
         outcome["parity_seconds"] = time.perf_counter() - started
 
         # ---- op-driven network deltas at 100k + routing under churn -----
@@ -274,6 +292,7 @@ def test_e15_100k_arena(run_once):
         "incremental_equals_full_rescan_topology": equivalence["topology"],
         "incremental_equals_full_rescan_dummies": equivalence["dummies"],
         "batch_equals_sequential": outcome["batch_parity"],
+        "batched_kernel_cost_equals_reference_kernel": outcome["kernel_parity"],
         "delta_network_equals_rebuild": network["equal"],
         "delta_beats_rebuild_wall_clock": (
             quick_mode() or network["delta_seconds"] < network["rebuild_seconds"]

@@ -1,0 +1,121 @@
+"""Ops/s microbenchmark of the plan-application kernel (PR 9 tentpole).
+
+Records a corpus of real restructuring plans by serving a skewed workload
+through DSG, then replays the identical corpus onto copies of the starting
+graph through the three appliers:
+
+* ``sequential`` — :func:`repro.core.local_ops.apply_ops`, one op at a time
+  (the executable reference path);
+* ``batched`` — :func:`repro.core.local_ops.apply_ops_batch`, maximal
+  same-shape runs through the skip graph's bulk entry points;
+* ``batched+compacted`` — the batched applier fed plans rewritten by
+  :func:`repro.core.plan_opt.compact_plan` first.
+
+The headline is local **ops applied per second** per mode (reported as the
+``req/s`` column of the artifact's algorithm table, one "request" = one op
+of the *original* corpus so the modes are directly comparable), plus the
+compaction ratio.  The safety gates assert what the property suite asserts
+at scale: every replay reproduces the live graph's final membership table,
+and compaction only ever shrinks a plan.
+
+Under ``BENCH_QUICK=1`` the corpus shrinks to a does-it-crash gate; the
+artifact is published either way as ``BENCH_micro_ops.json``.
+"""
+
+import time
+
+from conftest import publish_artifact, quick_mode
+
+from repro.analysis.artifacts import AlgorithmResult, BenchmarkArtifact
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.local_ops import apply_ops, apply_ops_batch
+from repro.core.plan_opt import compact_plan
+from repro.workloads import generate_workload
+
+if quick_mode():
+    CORPUS = dict(n=192, length=400, seed=11, working_set_size=12)
+else:
+    CORPUS = dict(n=4096, length=4000, seed=11, working_set_size=24)
+
+
+def _record_corpus():
+    """Serve the workload once; return (initial graph copy, plans, final table)."""
+    keys = list(range(1, CORPUS["n"] + 1))
+    dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=1))
+    initial = dsg.graph.copy()
+    requests = generate_workload(
+        "temporal", keys, CORPUS["length"], seed=CORPUS["seed"],
+        working_set_size=CORPUS["working_set_size"],
+    )
+    results = dsg.run_sequence(requests)
+    plans = [result.ops for result in results if result.ops]
+    return initial, plans, dsg.graph.membership_table()
+
+
+def _replay(initial, plans, mode):
+    """Replay every plan in order onto a copy of ``initial``; time it."""
+    graph = initial.copy()
+    if mode == "batched+compacted":
+        plans = [compact_plan(ops) for ops in plans]
+    started = time.perf_counter()
+    if mode == "sequential":
+        for ops in plans:
+            apply_ops(graph, ops)
+    else:
+        for ops in plans:
+            apply_ops_batch(graph, ops)
+    elapsed = time.perf_counter() - started
+    return graph, elapsed
+
+
+def test_plan_application_ops_per_second(run_once):
+    def experiment():
+        initial, plans, live_table = _record_corpus()
+        total_ops = sum(len(ops) for ops in plans)
+        compacted_ops = sum(len(compact_plan(ops)) for ops in plans)
+
+        rows = []
+        tables = {}
+        for mode in ("sequential", "batched", "batched+compacted"):
+            graph, elapsed = _replay(initial, plans, mode)
+            tables[mode] = graph.membership_table()
+            rows.append(
+                AlgorithmResult(
+                    name=mode,
+                    requests=total_ops,
+                    total_routing=0,
+                    total_adjustment=total_ops,
+                    total_cost=total_ops,
+                    wall_seconds=elapsed,
+                )
+            )
+
+        checks = {
+            "sequential_replay_matches_live_graph": tables["sequential"] == live_table,
+            "batched_replay_matches_live_graph": tables["batched"] == live_table,
+            "compacted_replay_matches_live_graph": (
+                tables["batched+compacted"] == live_table
+            ),
+            "compaction_never_grows_a_plan": compacted_ops <= total_ops,
+            "corpus_is_nonempty": total_ops > 0,
+        }
+        artifact = BenchmarkArtifact(
+            benchmark="micro_ops",
+            config=dict(
+                CORPUS,
+                quick=quick_mode(),
+                plans=len(plans),
+                total_ops=total_ops,
+                compacted_ops=compacted_ops,
+                compaction_ratio=(compacted_ops / total_ops if total_ops else 1.0),
+                unit="one request == one original-corpus local op",
+            ),
+            wall_seconds=sum(row.wall_seconds for row in rows),
+            algorithms=rows,
+            checks=checks,
+        )
+        publish_artifact(artifact)
+        return artifact
+
+    artifact = run_once(experiment)
+    assert artifact.all_checks_passed, artifact.checks

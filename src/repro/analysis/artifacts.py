@@ -35,8 +35,10 @@ Version 2 added the ``protocols`` section, version 3 the ``plan_sizes``
 section, version 4 the ``failures`` section (:class:`FailureResult`, the
 crash-stop arena rows of ``bench_e16_failures``), version 5 the
 ``pipelines`` section (:class:`PipelineResult`, the conflict-aware
-pipelined-serving rows of ``bench_e17_pipeline``); older files load as
-artifacts without the newer rows.
+pipelined-serving rows of ``bench_e17_pipeline``), version 6 the optional
+per-algorithm ``phases`` breakdown (wall-clock seconds spent routing,
+planning, applying plans and repairing indexes — the batched-kernel
+profile); older files load as artifacts without the newer rows.
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -84,6 +86,11 @@ class AlgorithmResult:
         Structure height after the run (``None`` where meaningless).
     joins, leaves:
         Churn events absorbed during the run.
+    phases:
+        Optional wall-clock breakdown of ``wall_seconds`` by serving phase
+        (``route`` / ``plan`` / ``apply`` / ``repair`` for DSG — see
+        :attr:`repro.core.dsg.DynamicSkipGraph.phase_seconds`).  Empty for
+        algorithms that do not report one and for pre-v6 artifacts.
     """
 
     name: str
@@ -96,6 +103,7 @@ class AlgorithmResult:
     final_height: Optional[int] = None
     joins: int = 0
     leaves: int = 0
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def average_routing(self) -> float:
@@ -492,6 +500,26 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
                     f"| {_format(result.final_height)} | {churn} |"
                 )
             lines.append("")
+            phased = [result for result in artifact.algorithms if result.phases]
+            if phased:
+                phase_names: List[str] = []
+                for result in phased:
+                    for name in result.phases:
+                        if name not in phase_names:
+                            phase_names.append(name)
+                header = " | ".join(f"{name} s" for name in phase_names)
+                lines.append(f"| phase breakdown | {header} | accounted |")
+                lines.append("|---|" + "---:|" * (len(phase_names) + 1))
+                for result in phased:
+                    cells = " | ".join(
+                        _format(result.phases.get(name, 0.0), 1) for name in phase_names
+                    )
+                    accounted = sum(result.phases.values())
+                    share = accounted / result.wall_seconds if result.wall_seconds else 0.0
+                    lines.append(
+                        f"| {result.name} | {cells} | {accounted:.1f} ({share * 100:.0f}%) |"
+                    )
+                lines.append("")
         if artifact.protocols:
             lines.append(
                 "| protocol | n | rounds | messages | max bits | budget bits "

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import BaselineRun, Key, RequestCost
 from repro.core.dsg import DSGConfig, DynamicSkipGraph
@@ -130,6 +130,16 @@ class ServingAlgorithm:
 
         Only DSG emits local-op plans; every other algorithm reports an
         empty histogram, which the artifact pipeline skips.
+        """
+        return {}
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock breakdown of serving time by phase.
+
+        DSG reports ``route`` / ``plan`` / ``apply`` / ``repair`` seconds
+        (:attr:`repro.core.dsg.DynamicSkipGraph.phase_seconds`); algorithms
+        without instrumentation report an empty mapping, which the artifact
+        pipeline records as-is.
         """
         return {}
 
@@ -266,6 +276,9 @@ class DSGAdapter(ServingAlgorithm):
 
     def plan_size_histogram(self) -> dict:
         return self.dsg.plan_size_histogram()
+
+    def phase_seconds(self) -> Dict[str, float]:
+        return dict(self.dsg.phase_seconds)
 
 
 def make_comparison_algorithms(

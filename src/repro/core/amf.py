@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.simulation.rng import make_rng
@@ -38,15 +39,12 @@ from repro.skiplist.balanced import BalancedSkipList
 
 __all__ = ["AMFResult", "approximate_median", "exact_median", "rank_interval"]
 
-
-@dataclass
-class _Entry:
-    """A surviving value with the mass of discarded values assigned to it."""
-
-    value: float
-    #: Number of discarded values known to be <= ``value`` (and above the
-    #: previously kept value of the same local list).
-    weight_below: int = 0
+# Values travelling up the skip list are ``(value, weight_below)`` pairs:
+# the surviving value plus the count of discarded values known to be
+# <= ``value`` (and above the previously kept value of the same local list).
+# Plain tuples, not objects: one transformation allocates them by the
+# hundred thousand.
+_value_of_entry = itemgetter(0)
 
 
 @dataclass
@@ -116,15 +114,19 @@ def approximate_median(
     values: Mapping[Any, float] | Sequence[Tuple[Any, float]],
     a: int = 4,
     rng: Optional[random.Random] = None,
+    diagnostics: bool = True,
 ) -> AMFResult:
     """Run AMF over ``values`` (mapping ``list member -> value``).
 
     The iteration order of ``values`` is taken as the linked-list order (for
-    DSG this is key order within the linked list).
+    DSG this is key order within the linked list).  ``diagnostics=False``
+    skips the exact rank interval of the result (two O(n) scans used only by
+    the Lemma 1 experiments); ``rank_low``/``rank_high`` are then 0.  The
+    median, round count and skip list are unaffected.
     """
     if isinstance(values, Mapping):
         items: List[Any] = list(values.keys())
-        value_of: Dict[Any, float] = dict(values)
+        value_of: Mapping[Any, float] = values if isinstance(values, dict) else dict(values)
     else:
         items = [item for item, _ in values]
         value_of = {item: value for item, value in values}
@@ -133,12 +135,12 @@ def approximate_median(
     if a < 2:
         raise ValueError("the balance parameter a must be at least 2")
 
-    all_values = [value_of[item] for item in items]
     n = len(items)
 
     # Small lists: the paper's construction assumes n > a; below that the
     # nodes simply gather all values along the list and take the median.
     if n <= a:
+        all_values = [value_of[item] for item in items]
         median = exact_median(all_values)
         low, high = rank_interval(all_values, median)
         return AMFResult(
@@ -155,14 +157,14 @@ def approximate_median(
     sampling_start = math.ceil(math.log(max(h, 2), base)) + 1
 
     # entries held by each node, starting with its own value at the base.
-    held: Dict[Any, List[_Entry]] = {item: [_Entry(value=value_of[item])] for item in items}
+    held: Dict[Any, List[Tuple[float, int]]] = {item: [(value_of[item], 0)] for item in items}
 
     for level in range(skiplist.height - 1):
         segments = skiplist.segments(level)
-        next_held: Dict[Any, List[_Entry]] = {}
+        next_held: Dict[Any, List[Tuple[float, int]]] = {}
         level_rounds = 0
         for owner, members in segments:
-            gathered: List[_Entry] = []
+            gathered: List[Tuple[float, int]] = []
             forwarded_values = 0
             for member in members:
                 entries = held.get(member, [])
@@ -182,7 +184,10 @@ def approximate_median(
     median, rank_estimate = _pick_median(root_entries)
     rounds += skiplist.broadcast_rounds()
 
-    low, high = rank_interval(all_values, median)
+    if diagnostics:
+        low, high = rank_interval([value_of[item] for item in items], median)
+    else:
+        low = high = 0
     return AMFResult(
         median=median,
         rounds=rounds,
@@ -194,45 +199,46 @@ def approximate_median(
     )
 
 
-def _sample(entries: List[_Entry], sample_size: int) -> List[_Entry]:
+def _sample(entries: List[Tuple[float, int]], sample_size: int) -> List[Tuple[float, int]]:
     """Sort ``entries`` and keep a uniform sample, folding discarded mass.
 
     The discarded values between two kept values are assigned to the *upper*
     kept value's ``weight_below``, so the total mass (count of original
     values) is preserved exactly.
     """
-    ordered = sorted(entries, key=lambda e: e.value)
+    ordered = sorted(entries, key=_value_of_entry)
     if len(ordered) <= sample_size:
         return ordered
     last = len(ordered) - 1
     kept_indices = sorted({round(i * last / (sample_size - 1)) for i in range(sample_size)})
-    kept: List[_Entry] = []
+    kept: List[Tuple[float, int]] = []
     previous_index = -1
     for index in kept_indices:
-        entry = ordered[index]
-        discarded = ordered[previous_index + 1 : index]
-        extra = sum(1 + d.weight_below for d in discarded)
-        kept.append(_Entry(value=entry.value, weight_below=entry.weight_below + extra))
+        value, weight_below = ordered[index]
+        extra = 0
+        for _, discarded_weight in ordered[previous_index + 1 : index]:
+            extra += 1 + discarded_weight
+        kept.append((value, weight_below + extra))
         previous_index = index
     # Any trailing discarded values (there are none because the last index is
     # always kept) would otherwise be lost; assert the mass is preserved.
     return kept
 
 
-def _pick_median(entries: List[_Entry]) -> Tuple[float, float]:
+def _pick_median(entries: List[Tuple[float, int]]) -> Tuple[float, float]:
     """Pick the entry whose accounted rank is closest to the middle."""
-    ordered = sorted(entries, key=lambda e: e.value)
-    total_mass = sum(1 + e.weight_below for e in ordered)
+    ordered = sorted(entries, key=_value_of_entry)
+    total_mass = len(ordered) + sum(weight for _, weight in ordered)
     target = total_mass / 2
-    best_value = ordered[0].value
+    best_value = ordered[0][0]
     best_rank = 0.0
     best_distance = math.inf
     cumulative = 0
-    for entry in ordered:
-        cumulative += entry.weight_below + 1
+    for value, weight_below in ordered:
+        cumulative += weight_below + 1
         distance = abs(cumulative - target)
         if distance < best_distance:
             best_distance = distance
-            best_value = entry.value
+            best_value = value
             best_rank = cumulative
     return best_value, best_rank

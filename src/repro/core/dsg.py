@@ -36,7 +36,7 @@ from repro.core.groups import (
     merge_groups_at_alpha,
     update_group_bases_after_transformation,
 )
-from repro.core.local_ops import LocalOp, OpRecorder
+from repro.core.local_ops import LocalOp, OpRecorder, apply_ops, apply_ops_batch
 from repro.core.priorities import compute_priorities
 from repro.core.state import DSGNodeState
 from repro.core.timestamps import TimestampContext, apply_timestamp_rules
@@ -50,7 +50,6 @@ from repro.skipgraph.build import (
     draw_membership_bits,
     draw_membership_bits_reference,
 )
-from repro.skipgraph.membership import MembershipVector
 from repro.skipgraph.routing import RoutingResult, route
 from repro.skipgraph.skipgraph import SkipGraph
 
@@ -91,6 +90,24 @@ class DSGConfig:
         instead of the incremental indexes.  Slow — exists so the
         equivalence benchmarks can replay one schedule on both paths and
         assert identical costs, topology and dummy placement.
+    use_batched_apply:
+        Execute the planners' promote/demote/dummy-removal runs through the
+        skip graph's bulk entry points (one list splice and one prefix-index
+        pass per run) instead of op-by-op cache invalidation.  Plans, costs,
+        RNG draws and the final topology are byte-identical either way
+        (property-tested); ``False`` selects the op-by-op reference path.
+    use_plan_compaction:
+        Rewrite plans with the peephole compactor
+        (:func:`~repro.core.plan_opt.compact_plan`) before *replaying* them
+        through :meth:`DynamicSkipGraph.replay_plan`.  Never affects the
+        planners: cost accounting and recorded plans always describe the
+        original op sequence (Equation 1 is charged for the uncompacted
+        plan), only replay-style consumers execute the shorter form.
+    use_array_lists:
+        Mirror the membership bits into the flat numpy bit-matrix store
+        (:mod:`repro.skipgraph.array_store`) and let the a-balance scans run
+        vectorised over it.  Results are identical to the dict/list
+        reference path, which remains the executable specification.
     """
 
     a: int = 4
@@ -101,6 +118,9 @@ class DSGConfig:
     track_working_set: bool = True
     initial_topology: str = "balanced"
     use_reference_scans: bool = False
+    use_batched_apply: bool = True
+    use_plan_compaction: bool = True
+    use_array_lists: bool = True
 
 
 @dataclass
@@ -213,6 +233,9 @@ class DynamicSkipGraph:
             state.group_base = initial_group_base(singleton_levels[key])
             self.states[key] = state
 
+        if self.config.use_array_lists:
+            self.graph.attach_array_store()
+
         self._time = 0
         self.history = CommunicationHistory(total_nodes=self.graph.real_count)
         #: Local-op plan of the most recent :meth:`add_node` / :meth:`remove_node`.
@@ -232,6 +255,19 @@ class DynamicSkipGraph:
         )
         #: Request-plan size distribution: ``len(result.ops) -> requests``.
         self._plan_size_hist: Dict[int, int] = {}
+        #: Wall-clock per serving phase: routing, planning maths, bulk plan
+        #: application, and churn-path a-balance repair.  "plan" is the
+        #: adjustment time not spent inside bulk splices, so the four keys
+        #: (plus build/overhead outside them) decompose the serving time.
+        self.phase_seconds: Dict[str, float] = {
+            "route": 0.0,
+            "plan": 0.0,
+            "apply": 0.0,
+            "repair": 0.0,
+        }
+        # One-element accumulator threaded through every recorder: seconds
+        # spent inside the skip graph's bulk entry points (the apply phase).
+        self._apply_timer: List[float] = [0.0]
 
     # ------------------------------------------------------------------ misc
     @staticmethod
@@ -302,7 +338,10 @@ class DynamicSkipGraph:
         self._time += 1
         t = self._time
 
+        phases = self.phase_seconds
+        began = time.perf_counter()
         routing = route(self.graph, u, v)
+        phases["route"] += time.perf_counter() - began
         working_set = self.history.record(u, v) if self.config.track_working_set else None
 
         result = RequestResult(
@@ -315,7 +354,13 @@ class DynamicSkipGraph:
         )
 
         if self.config.adjust:
+            apply_before = self._apply_timer[0]
+            began = time.perf_counter()
             self._adjust(result, u, v, t)
+            elapsed = time.perf_counter() - began
+            apply_delta = self._apply_timer[0] - apply_before
+            phases["apply"] += apply_delta
+            phases["plan"] += elapsed - apply_delta
 
         result.height_after = self.height()
         self._served += 1
@@ -401,7 +446,12 @@ class DynamicSkipGraph:
         on ``result.ops``.
         """
         graph = self.graph
-        recorder = OpRecorder(graph, tracker=self.balance_tracker)
+        recorder = OpRecorder(
+            graph,
+            tracker=self.balance_tracker,
+            batched=self.config.use_batched_apply,
+            apply_timer=self._apply_timer,
+        )
         result.ops = recorder.ops
         alpha = graph.common_level(u, v)
         result.alpha = alpha
@@ -412,23 +462,25 @@ class DynamicSkipGraph:
         # protecting the split of l_{alpha-1} (one level *above* the subtree
         # being rebuilt), so it stays alive; only dummies inside the rebuilt
         # subtree are destroyed (they would otherwise hold stale bits).
-        dummies_removed = 0
+        doomed_dummies: List[Key] = []
         members: List[Key] = []
         for key in members_all:
             node = graph.node(key)
             if node.is_dummy:
                 if len(node.membership) > alpha:
-                    recorder.remove_dummy(key)
-                    dummies_removed += 1
+                    doomed_dummies.append(key)
             else:
                 members.append(key)
-        result.dummies_removed = dummies_removed
+        if doomed_dummies:
+            recorder.remove_run(doomed_dummies)
+        result.dummies_removed = len(doomed_dummies)
 
         height = graph.height()
 
         # Snapshot of the pre-transformation state (several timestamp rules
-        # refer to S_t rather than S_{t+1}).
-        old_membership = {key: MembershipVector(graph.membership(key).bits) for key in members}
+        # refer to S_t rather than S_{t+1}; vectors are immutable, so the
+        # snapshot holds references instead of copies).
+        old_membership = {key: graph.membership(key) for key in members}
         old_timestamps = {key: dict(self.states[key].timestamps) for key in members}
         old_group_ids_alpha = {key: self.states[key].group_id(alpha) for key in members}
         old_group_u = self.states[u].group_id(alpha)
@@ -500,7 +552,7 @@ class DynamicSkipGraph:
             alpha=alpha,
         )
 
-        new_membership = {key: MembershipVector(graph.membership(key).bits) for key in members}
+        new_membership = {key: graph.membership(key) for key in members}
         ctx = TimestampContext(
             u=u,
             v=v,
@@ -537,6 +589,34 @@ class DynamicSkipGraph:
         """
         return [self.request(u, v) for u, v in requests]
 
+    def replay_plan(self, graph: SkipGraph, ops: Sequence[LocalOp]) -> None:
+        """Apply a recorded plan to ``graph`` under this instance's toggles.
+
+        The replay front door for drivers and equivalence checks: honours
+        ``config.use_batched_apply`` (bulk splices vs. op-by-op) and
+        ``config.use_plan_compaction`` (peephole-compacted vs. original
+        plan) independently, so every combination remains runnable against
+        the same recorded plans.  The final topology is identical in all
+        four modes (property-tested).
+        """
+        if self.config.use_plan_compaction:
+            from repro.core.plan_opt import compact_plan
+
+            ops = compact_plan(ops)
+        if self.config.use_batched_apply:
+            apply_ops_batch(graph, ops)
+        else:
+            apply_ops(graph, ops)
+
+    def _churn_recorder(self) -> OpRecorder:
+        """A recorder wired to this instance's tracker, batching and timer."""
+        return OpRecorder(
+            self.graph,
+            tracker=self.balance_tracker,
+            batched=self.config.use_batched_apply,
+            apply_timer=self._apply_timer,
+        )
+
     # ------------------------------------------------------------ node churn
     def add_node(self, key: Key, payload=None) -> None:
         """Add a peer with a random membership vector (Section IV-G).
@@ -554,7 +634,7 @@ class DynamicSkipGraph:
         self._check_keys([key])
         if self.graph.has_node(key):
             raise ValueError(f"key {key!r} already present")
-        recorder = OpRecorder(self.graph, tracker=self.balance_tracker)
+        recorder = self._churn_recorder()
         draw = (
             draw_membership_bits_reference
             if self.config.use_reference_scans
@@ -567,7 +647,9 @@ class DynamicSkipGraph:
         self.states[key] = state
         self.history.total_nodes = self.graph.real_count
         if self.config.maintain_a_balance:
+            began = time.perf_counter()
             self.restore_a_balance(recorder)
+            self.phase_seconds["repair"] += time.perf_counter() - began
         self.last_churn_ops = recorder.ops
 
     def remove_node(self, key: Key) -> None:
@@ -576,12 +658,14 @@ class DynamicSkipGraph:
             raise KeyError(f"no node with key {key!r}")
         if self.graph.node(key).is_dummy:
             raise ValueError("dummy nodes are managed internally")
-        recorder = OpRecorder(self.graph, tracker=self.balance_tracker)
+        recorder = self._churn_recorder()
         recorder.leave(key)
         self.states.pop(key, None)
         self.history.total_nodes = self.graph.real_count
         if self.config.maintain_a_balance:
+            began = time.perf_counter()
             self.restore_a_balance(recorder)
+            self.phase_seconds["repair"] += time.perf_counter() - began
         self.last_churn_ops = recorder.ops
 
     def restore_a_balance(self, recorder: Optional[OpRecorder] = None) -> int:
@@ -612,7 +696,7 @@ class DynamicSkipGraph:
         """
         tracker = self.balance_tracker
         if recorder is None:
-            recorder = OpRecorder(self.graph, tracker=tracker)
+            recorder = self._churn_recorder()
         elif tracker is not None and recorder.tracker is not tracker:
             # A caller-supplied recorder bypassed this instance's tracker, so
             # the dirty marks cannot be trusted to cover the caller's ops:
@@ -628,24 +712,31 @@ class DynamicSkipGraph:
                 violations = tracker.violations(self.graph, self.config.a)
             if not violations:
                 break
-            progressed = False
+            # One round's repairs are independent (the runs are disjoint),
+            # so the placements are computed first — with the key draws
+            # rejecting keys claimed earlier in the round, exactly as the
+            # ``has_node`` probe would after an immediate insertion — and
+            # landed as one batch.
+            pending: List[Tuple[Key, Tuple[int, ...]]] = []
+            claimed: set = set()
             for violation in violations:
-                run = list(violation.run_keys)
+                run = violation.run_keys
                 lower, upper = run[self.config.a - 1], run[self.config.a]
-                dummy_key = self._dummy_key_between(lower, upper)
+                dummy_key = self._dummy_key_between(lower, upper, claimed)
                 if dummy_key is None:
                     if tracker is not None:
                         tracker.mark_list(violation.level, violation.prefix)
                     continue
                 prefix = self.graph.membership(lower).prefix(violation.level)
-                recorder.insert_dummy(dummy_key, prefix.bits + (1 - violation.bit,))
-                inserted += 1
-                progressed = True
-            if not progressed:
+                pending.append((dummy_key, prefix.bits + (1 - violation.bit,)))
+                claimed.add(dummy_key)
+            recorder.insert_dummy_run(pending)
+            inserted += len(pending)
+            if not pending:
                 break
         return inserted
 
-    def _dummy_key_between(self, lower: Key, upper: Key) -> Optional[Key]:
+    def _dummy_key_between(self, lower: Key, upper: Key, claimed: frozenset = frozenset()) -> Optional[Key]:
         try:
             low, high = float(lower), float(upper)
         except (TypeError, ValueError):
@@ -654,7 +745,11 @@ class DynamicSkipGraph:
             return None
         for _ in range(16):
             candidate = low + (high - low) * (0.25 + 0.5 * self._rng.random())
-            if candidate not in (low, high) and not self.graph.has_node(candidate):
+            if (
+                candidate not in (low, high)
+                and candidate not in claimed
+                and not self.graph.has_node(candidate)
+            ):
                 return candidate
         return None
 

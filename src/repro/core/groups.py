@@ -48,11 +48,12 @@ def merge_groups_at_alpha(
     """
     group_u = states[u].group_id(alpha)
     group_v = states[v].group_id(alpha)
+    uid_u = states[u].uid
     merged: List[Key] = []
     for key in members:
         state = states[key]
-        if state.group_id(alpha) in (group_u, group_v):
-            state.set_group_id(alpha, states[u].uid)
+        if state.group_ids.get(alpha, state.uid) in (group_u, group_v):
+            state.group_ids[alpha] = uid_u
             merged.append(key)
     return merged
 
@@ -83,7 +84,8 @@ def find_straddled_group(
     for key in members:
         if key in (u, v):
             continue
-        group = states[key].group_id(level)
+        state = states[key]
+        group = state.group_ids.get(level, state.uid)
         if not isinstance(group, bool) and isinstance(group, int) and group > 0:
             low, high = priority_band(group, t)
             if low <= median < high:
@@ -123,8 +125,15 @@ def assign_group_ids_after_split(
 
     # Old groups by their parent-level group-id.
     old_groups: Dict[Key, List[Key]] = {}
-    for key in list(zero_list) + list(one_list):
-        old_groups.setdefault(states[key].group_id(parent_level), []).append(key)
+    for key_list in (zero_list, one_list):
+        for key in key_list:
+            state = states[key]
+            gid = state.group_ids.get(parent_level, state.uid)
+            bucket = old_groups.get(gid)
+            if bucket is None:
+                old_groups[gid] = [key]
+            else:
+                bucket.append(key)
 
     split_groups: List[Key] = []
     for group_id, group_members in old_groups.items():

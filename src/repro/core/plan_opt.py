@@ -1,0 +1,248 @@
+"""Peephole compaction of recorded op plans.
+
+A transformation plan talks about each key several times: the member is
+demoted to the split point, then promoted once per level as the subtree
+splits back down; a dummy inserted at one level may be destroyed by the next
+request's plan prefix.  :func:`compact_plan` rewrites a recorded plan into a
+shorter one with the *same final topology*:
+
+* a run of promotes of one key at consecutive levels coalesces into a single
+  multi-bit :class:`~repro.core.local_ops.ExtendOp`;
+* a promote/demote pair on the same key cancels into the surviving
+  truncation (the demote cuts the promoted bit off again);
+* a dummy insert/remove pair on the same key annihilates, and membership
+  rewrites of a key the same plan created fold into the creation bits.
+
+Compaction is **graph-free** and purely per key: local ops are per-key
+self-contained (applying one never reads another node's state), so the final
+membership map — and with it every derived level list — is invariant under
+regrouping ops by key.  Within one key the composition laws are applied only
+where they hold for *every* starting vector; a per-key sequence that leaves
+the representable family (the planners never do) is emitted verbatim, which
+makes the compactor conservative rather than wrong.
+
+The pass rewrites *execution* only.  Cost accounting (Equation 1) is always
+charged for the original plan — the planners never see compacted ops — and
+the a-balance dirty marks of annihilated ops are legitimately not emitted,
+so compacted plans are for consumers that need the end state: the batched
+applier (:func:`repro.core.local_ops.apply_ops_batch` with ``compact=True``)
+and replay-style drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.local_ops import (
+    DemoteOp,
+    DummyInsertOp,
+    DummyRemoveOp,
+    ExtendOp,
+    LocalOp,
+    NodeJoinOp,
+    NodeLeaveOp,
+    PromoteOp,
+)
+
+__all__ = ["compact_plan"]
+
+Bits = Tuple[int, ...]
+
+# Per-key composition states.
+_REWRITE = 0  # pre-existing key, composed (demote cut, extend window)
+_INSERT = 1  # created by this plan (full vector known)
+_REMOVE = 2  # pre-existing key removed
+_REMOVE_INSERT = 3  # removed, then re-created under the same key
+_GONE = 4  # created and destroyed by this plan (nets to nothing)
+_RAW = 5  # unrepresentable composition: emit the original ops verbatim
+
+
+def _fold_bits(bits: Bits, level: int, extra: Bits) -> Bits:
+    """``with_bit(level + i, extra[i])`` folded over a fully known vector."""
+    start = level - 1
+    if len(bits) <= start:
+        return bits + (0,) * (start - len(bits)) + extra
+    return bits[:start] + extra + bits[start + len(extra):]
+
+
+class _KeyState:
+    """Composition state of every op one key sees, in plan order."""
+
+    __slots__ = ("kind", "history", "demote", "start", "bits", "insert_op", "remove_op")
+
+    def __init__(self) -> None:
+        self.kind = _REWRITE
+        self.history: List[LocalOp] = []  # originals, for the verbatim fallback
+        # _REWRITE composition: optional cut at ``demote`` followed by the
+        # bits assigned for levels ``start .. start + len(bits) - 1``.
+        self.demote = None
+        self.start = None
+        self.bits: List[int] = []
+        self.insert_op = None  # DummyInsertOp/NodeJoinOp template (kind word)
+        self.remove_op = None  # the original removal op
+
+    # ------------------------------------------------------------ transitions
+    def _raw(self) -> None:
+        self.kind = _RAW
+
+    def feed(self, op: LocalOp) -> None:
+        self.history.append(op)
+        if self.kind == _RAW:
+            return
+        op_type = type(op)
+        if op_type is PromoteOp:
+            self._feed_bit_run(op.level, (op.bit,))
+        elif op_type is ExtendOp:
+            self._feed_bit_run(op.level, op.bits)
+        elif op_type is DemoteOp:
+            self._feed_demote(op.length)
+        elif op_type in (DummyInsertOp, NodeJoinOp):
+            self._feed_insert(op)
+        elif op_type in (DummyRemoveOp, NodeLeaveOp):
+            self._feed_remove(op)
+        else:
+            self._raw()
+
+    def _feed_bit_run(self, level: int, extra: Bits) -> None:
+        kind = self.kind
+        if kind in (_INSERT, _REMOVE_INSERT):
+            self.insert_op = self.insert_op._replace(
+                bits=_fold_bits(self.insert_op.bits, level, extra)
+            )
+            return
+        if kind != _REWRITE:
+            self._raw()  # a rewrite of a key this plan removed: invalid plan
+            return
+        if self.start is None:
+            self.start = level
+            self.bits = list(extra)
+            return
+        position = level - self.start
+        if position < 0:
+            # Touches bits below the window whose values are unknown.
+            self._raw()
+            return
+        window = self.bits
+        if position > len(window):
+            if self.demote is None:
+                # Unanchored: the padding would clobber an unknown tail.
+                self._raw()
+                return
+            window.extend([0] * (position - len(window)))
+        window[position : position + len(extra)] = extra
+
+    def _feed_demote(self, length: int) -> None:
+        kind = self.kind
+        if kind in (_INSERT, _REMOVE_INSERT):
+            bits = self.insert_op.bits
+            if len(bits) > length:
+                self.insert_op = self.insert_op._replace(bits=bits[:length])
+            return
+        if kind != _REWRITE:
+            self._raw()
+            return
+        if self.start is None:
+            self.demote = length
+            self.start = length + 1
+            return
+        window_start = self.start - 1
+        if length >= window_start + len(self.bits):
+            # At or past the end of the window.  Anchored compositions have
+            # a known (or bounded) length <= that end, so the cut is a no-op
+            # and drops; an unanchored window may hide a longer tail the cut
+            # would truncate.
+            if self.demote is None:
+                self._raw()
+            return
+        if length > window_start:
+            del self.bits[length - window_start :]
+            return
+        if length <= window_start and self.demote is not None and not self.bits:
+            # Pure deepening of the cut: x[:demote][:length] == x[:length].
+            self.demote = length
+            self.start = length + 1
+            return
+        # Cutting into/below a window that materialised padding zeros whose
+        # extent depends on the unknown original length.
+        self._raw()
+
+    def _feed_insert(self, op: LocalOp) -> None:
+        kind = self.kind
+        if kind == _REWRITE and self.start is None and self.demote is None:
+            self.kind = _INSERT
+            self.insert_op = op
+        elif kind == _GONE:
+            self.kind = _INSERT
+            self.insert_op = op
+        elif kind == _REMOVE:
+            self.kind = _REMOVE_INSERT
+            self.insert_op = op
+        else:
+            self._raw()  # duplicate insertion or insert-after-rewrite: invalid
+
+    def _feed_remove(self, op: LocalOp) -> None:
+        kind = self.kind
+        if kind == _INSERT:
+            self.kind = _GONE  # created and destroyed: annihilates
+            self.insert_op = None
+        elif kind == _REMOVE_INSERT:
+            self.kind = _REMOVE  # the re-creation annihilates, removal stays
+            self.insert_op = None
+        elif kind == _REWRITE:
+            # Rewrites of a key that then departs are invisible in the final
+            # topology; only the removal survives.
+            self.kind = _REMOVE
+            self.remove_op = op
+        else:
+            self._raw()
+
+    # -------------------------------------------------------------- emission
+    def emit(self, key) -> List[LocalOp]:
+        kind = self.kind
+        if kind == _RAW:
+            return self.history
+        if kind == _GONE:
+            return []
+        if kind == _INSERT:
+            return [self.insert_op]
+        if kind == _REMOVE:
+            return [self.remove_op]
+        if kind == _REMOVE_INSERT:
+            return [self.remove_op, self.insert_op]
+        ops: List[LocalOp] = []
+        if self.demote is not None:
+            ops.append(DemoteOp(key, self.demote))
+        bits = self.bits
+        if len(bits) == 1:
+            ops.append(PromoteOp(key, self.start, bits[0]))
+        elif bits:
+            ops.append(ExtendOp(key, self.start, tuple(bits)))
+        return ops
+
+
+def compact_plan(ops: Sequence[LocalOp]) -> List[LocalOp]:
+    """Rewrite ``ops`` into a shorter plan with the same final topology.
+
+    Assumes ``ops`` is valid for the graph it will be applied to (recorded
+    plans are by construction).  Each key's ops are composed independently
+    and emitted at the key's first appearance, so relative cross-key order
+    is preserved where it existed; per-key sequences outside the
+    representable family are passed through verbatim.  Property-tested:
+    applying the compacted plan to a copy of the pre-plan graph yields the
+    same membership table, dummy population and derived lists as the
+    original plan.
+    """
+    states: Dict[object, _KeyState] = {}
+    order: List[object] = []
+    for op in ops:
+        key = op.key
+        state = states.get(key)
+        if state is None:
+            state = _KeyState()
+            states[key] = state
+            order.append(key)
+        state.feed(op)
+    compacted: List[LocalOp] = []
+    for key in order:
+        compacted.extend(states[key].emit(key))
+    return compacted

@@ -74,8 +74,12 @@ def _highest_common_group_level(
     state_x: DSGNodeState, state_ref: DSGNodeState, max_level: int
 ) -> Optional[int]:
     """Highest level ``c <= max_level`` with ``G^x_c == G^ref_c`` (rule P2)."""
+    groups_x = state_x.group_ids
+    groups_ref = state_ref.group_ids
+    uid_x = state_x.uid
+    uid_ref = state_ref.uid
     for level in range(max_level, -1, -1):
-        if state_x.group_id(level) == state_ref.group_id(level):
+        if groups_x.get(level, uid_x) == groups_ref.get(level, uid_ref):
             return level
     return None
 
@@ -118,16 +122,21 @@ def compute_priorities(
             priorities[key] = COMMUNICATING_PRIORITY           # P1
             continue
         state_x = states[key]
-        group_x = state_x.group_id(alpha)
+        group_x = state_x.group_ids.get(alpha, state_x.uid)
         if group_x == group_u:                                  # P2 (u's side)
             c = _highest_common_group_level(state_x, state_u, height)
-            priorities[key] = float(min(state_x.timestamp(c), state_u.timestamp(c)))
+            priorities[key] = float(
+                min(state_x.timestamps.get(c, 0), state_u.timestamps.get(c, 0))
+            )
         elif group_x == group_v:                                # P2 (v's side)
             c = _highest_common_group_level(state_x, state_v, height)
-            priorities[key] = float(min(state_x.timestamp(c), state_v.timestamp(c)))
+            priorities[key] = float(
+                min(state_x.timestamps.get(c, 0), state_v.timestamps.get(c, 0))
+            )
         else:                                                   # P3
-            _require_positive_identifier(group_x)
-            priorities[key] = float(-(group_x * t) + state_x.timestamp(alpha + 1))
+            if type(group_x) is not int or group_x <= 0:
+                _require_positive_identifier(group_x)
+            priorities[key] = float(-(group_x * t) + state_x.timestamps.get(alpha + 1, 0))
     return priorities
 
 
@@ -138,6 +147,7 @@ def recompute_priority_p4(state: DSGNodeState, level: int, t: int) -> float:
     (``d`` in the paper); the priority uses the node's group-id at that level
     and its (old) timestamp one level above.
     """
-    group = state.group_id(level)
-    _require_positive_identifier(group)
-    return float(-(group * t) + state.timestamp(level + 1))
+    group = state.group_ids.get(level, state.uid)
+    if type(group) is not int or group <= 0:  # fast path for plain ints
+        _require_positive_identifier(group)
+    return float(-(group * t) + state.timestamps.get(level + 1, 0))

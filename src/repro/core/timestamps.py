@@ -117,7 +117,7 @@ def _rule_t2(states: Mapping[Key, DSGNodeState], ctx: TimestampContext) -> None:
         for level in sorted(medians):
             if level < ctx.alpha:
                 continue
-            if state.group_id(level) != uid_u:
+            if state.group_ids.get(level, state.uid) != uid_u:
                 continue
             median = medians[level]
             if median == float("inf"):

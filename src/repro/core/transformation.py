@@ -50,7 +50,7 @@ from typing import Dict, Hashable, List, Mapping, MutableMapping, Optional, Sequ
 from repro.core.amf import AMFResult, approximate_median, exact_median
 from repro.core.groups import assign_group_ids_after_split, find_straddled_group
 from repro.core.local_ops import LocalOp, OpRecorder
-from repro.core.priorities import COMMUNICATING_PRIORITY, recompute_priority_p4
+from repro.core.priorities import COMMUNICATING_PRIORITY, _require_positive_identifier
 from repro.core.state import DSGNodeState
 from repro.skipgraph.skipgraph import SkipGraph
 from repro.skiplist.distributed_sum import distributed_sum
@@ -146,8 +146,9 @@ def transform(
     # The rebuilt subtree replaces whatever was below level ``alpha``: every
     # involved node forgets its deeper membership bits and re-acquires them
     # level by level ("finds their new and complete membership vectors").
-    for key in members:
-        recorder.demote(key, alpha)
+    # One run: the members are sorted and share their first ``alpha`` bits,
+    # so a batched recorder truncates the whole subtree in a single pass.
+    recorder.demote_run(members, alpha)
 
     if set(members) == {u, v}:
         outcome.d_prime = alpha
@@ -218,24 +219,36 @@ def _split_recursive(
         # total.  This keeps the skip graph height bounded (Lemma 5) while
         # preserving the group cohesion the working set property relies on
         # (see DESIGN.md, "Simplifications").
-        ordered_values = {
-            key: (priorities[key], _group_rank(states[key], level), key) for key in members
-        }
+        ordered_values = {}
+        for key in members:
+            state = states[key]
+            group = state.group_ids.get(level, state.uid)
+            if type(group) is not int:  # bool / non-int ids take the slow path
+                group = _group_rank(state, level)
+            ordered_values[key] = (priorities[key], group, key)
         if use_exact_median:
             median_pair = exact_median(list(ordered_values.values()))
             amf_result = None
             step_rounds = 2 * max(1, math.ceil(math.log2(len(members))))
             case = "exact"
         else:
-            amf_result = approximate_median(ordered_values, a=a, rng=rng)
+            # Rank diagnostics (Lemma 1 instrumentation) are skipped on the
+            # serving path: two O(n) scans per split that nothing reads.
+            amf_result = approximate_median(ordered_values, a=a, rng=rng, diagnostics=False)
             median_pair = amf_result.median
             step_rounds = amf_result.rounds
             case = "amf"
         outcome.amf_calls += 0 if use_exact_median else 1
         median = median_pair[0]
 
+        received_medians = outcome.received_medians
+        parent_level = level - 1
         for key in members:
-            outcome.received_medians.setdefault(key, {})[level - 1] = median
+            per_key = received_medians.get(key)
+            if per_key is None:
+                received_medians[key] = {parent_level: median}
+            else:
+                per_key[parent_level] = median
 
         zero_list, one_list, case_label, extra_rounds = _assign(
             graph=graph,
@@ -253,10 +266,10 @@ def _split_recursive(
         step_rounds += extra_rounds
 
     # ------------------------------------------------------------ apply bits
-    for key in zero_list:
-        recorder.promote(key, level, 0)
-    for key in one_list:
-        recorder.promote(key, level, 1)
+    # Each sublist is one commuting run (distinct keys, same level, same
+    # bit): a batched recorder splices the new level list in one pass.
+    recorder.promote_run(zero_list, level, 0)
+    recorder.promote_run(one_list, level, 1)
 
     # Finding the new left/right neighbours costs at most ``a`` rounds thanks
     # to the a-balance property (Section IV-C).
@@ -280,11 +293,13 @@ def _split_recursive(
             else max(1, math.ceil(math.log2(len(members))))
         )
         split_parent_groups = set(split_group_ids)
+        parent = level - 1
+        uid_u = states[u].uid
         for key in members:
-            if states[key].group_id(level - 1) in split_parent_groups or (
-                contains_pair and states[key].group_id(level - 1) == states[u].uid
-            ):
-                outcome.split_levels.setdefault(key, []).append(level - 1)
+            state = states[key]
+            gid = state.group_ids.get(parent, state.uid)
+            if gid in split_parent_groups or (contains_pair and gid == uid_u):
+                outcome.split_levels.setdefault(key, []).append(parent)
 
     # ------------------------------------------------------------ dummies
     dummies: List[Key] = []
@@ -320,8 +335,15 @@ def _split_recursive(
             continue
         child_has_pair = u in child and v in child
         if not child_has_pair:
+            # Rule P4 inlined (see recompute_priority_p4): one dict probe per
+            # member on the hottest loop of the recursion.
+            next_level = level + 1
             for key in child:
-                priorities[key] = recompute_priority_p4(states[key], level, t)
+                state = states[key]
+                group = state.group_ids.get(level, state.uid)
+                if type(group) is not int or group <= 0:
+                    _require_positive_identifier(group)
+                priorities[key] = float(-(group * t) + state.timestamps.get(next_level, 0))
         child_rounds.append(
             _split_recursive(
                 graph=graph,
@@ -351,7 +373,7 @@ def _group_rank(state: DSGNodeState, level: int) -> int:
     them as a tie-break keeps members of the same (finer) group adjacent in
     the priority order without biasing which side of the median they land on.
     """
-    group = state.group_id(level)
+    group = state.group_ids.get(level, state.uid)
     if isinstance(group, bool) or not isinstance(group, int):
         return 0
     return group
@@ -404,7 +426,8 @@ def _assign(
 
     if size_gs * 3 > 2 * size_list:  # |g_s| > 2/3 |l_d|
         one = [key for key in members if key in gs and states[key].is_dominating(level)]
-        zero = [key for key in members if key not in set(one)]
+        one_set = set(one)
+        zero = [key for key in members if key not in one_set]
         if not one:
             # No member of g_s carries a dominating flag (the group was never
             # formed by a positive median).  Fall back to halving the group
@@ -412,12 +435,12 @@ def _assign(
             zero, one = _fallback_split(graph, members, gs, level, u, v)
         return sorted(zero), sorted(one), "negative-split-dominating", extra_rounds
 
-    low = [key for key in members if order[key] < median_pair]
-    high = [key for key in members if order[key] >= median_pair]
     if size_gs * 3 < size_list:  # |g_s| < 1/3 |l_d|
+        low_count = sum(1 for key in members if order[key] < median_pair)
+        high_count = size_list - low_count
         zero = [key for key in members if key not in gs and order[key] >= median_pair]
         one = [key for key in members if key not in gs and order[key] < median_pair]
-        if len(high) < len(low):
+        if high_count < low_count:
             zero.extend(straddled)
         else:
             one.extend(straddled)
@@ -487,8 +510,9 @@ def _fallback_split(
     zero = others + gs_members[:half]
     one = gs_members[half:]
     if not one:
-        one = gs_members[-1:]
-        zero = [key for key in members if key not in set(one)]
+        last = gs_members[-1]
+        one = [last]
+        zero = [key for key in members if key != last]
     return zero, one
 
 
@@ -533,6 +557,12 @@ def _break_chains(
     zero_set = set(zero_list)
     one_set = set(one_list)
     dummies: List[Key] = []
+    # The placements are collected and landed in one batch at the end of the
+    # pass: ``ordered`` is a snapshot, a dummy never changes another node's
+    # membership, and the key draws consult ``dummies`` for keys this pass
+    # already claimed — so the batch is byte-identical (ops, RNG stream,
+    # dirty marks) to inserting at each detection point.
+    pending: List[Tuple[Key, Tuple[int, ...]]] = []
     parent_prefix = graph.membership(members[0]).prefix(level - 1)
     ordered = graph.list_members(level - 1, parent_prefix) if level >= 1 else sorted(members)
     run_bit: Optional[int] = None
@@ -565,18 +595,30 @@ def _break_chains(
                 low_uv, high_uv = (u, v) if u < v else (v, u)
                 if not (key <= low_uv or previous_key >= high_uv):
                     continue
-            dummy_key = _pick_dummy_key(graph, previous_key, key, rng)
+            dummy_key = _pick_dummy_key(graph, previous_key, key, rng, taken=dummies)
             if dummy_key is None:
                 continue
             prefix = graph.membership(previous_key).prefix(level - 1)
-            recorder.insert_dummy(dummy_key, prefix.bits + (1 - bit,))
+            pending.append((dummy_key, prefix.bits + (1 - bit,)))
             dummies.append(dummy_key)
             run_length = 1
+    recorder.insert_dummy_run(pending)
     return dummies
 
 
-def _pick_dummy_key(graph: SkipGraph, lower: Key, upper: Key, rng: random.Random) -> Optional[Key]:
-    """A fresh key strictly between ``lower`` and ``upper`` (float interpolation)."""
+def _pick_dummy_key(
+    graph: SkipGraph,
+    lower: Key,
+    upper: Key,
+    rng: random.Random,
+    taken: Sequence[Key] = (),
+) -> Optional[Key]:
+    """A fresh key strictly between ``lower`` and ``upper`` (float interpolation).
+
+    ``taken`` holds keys claimed by not-yet-landed placements of the same
+    batch; rejecting them reproduces the ``has_node`` answer an immediate
+    insertion would have given.
+    """
     try:
         low = float(lower)
         high = float(upper)
@@ -587,6 +629,11 @@ def _pick_dummy_key(graph: SkipGraph, lower: Key, upper: Key, rng: random.Random
     for _ in range(16):
         fraction = 0.25 + 0.5 * rng.random()
         candidate = low + (high - low) * fraction
-        if candidate != low and candidate != high and not graph.has_node(candidate):
+        if (
+            candidate != low
+            and candidate != high
+            and candidate not in taken
+            and not graph.has_node(candidate)
+        ):
             return candidate
     return None

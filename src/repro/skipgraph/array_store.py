@@ -1,0 +1,155 @@
+"""Flat array-backed storage of membership bits.
+
+The dict/list skip graph keeps each node's membership vector as a Python
+tuple on the node object; every scan that walks a list therefore pays a
+dict lookup, an attribute chain and a tuple index per (node, level) probe.
+This module mirrors the same information into flat arrays:
+
+* ``rows``  — an int-key map ``key -> row`` into the matrices below;
+* ``bits``  — an ``int8`` matrix, ``bits[row, i]`` is membership bit ``i``;
+* ``lengths`` — vector lengths; entries of ``bits`` beyond a row's length
+  are garbage and must be masked through ``lengths``.
+
+The store is a *mirror*, not the source of truth: :class:`SkipGraph`
+updates it alongside its own structures (``attach_array_store``), the bulk
+kernel entry points update whole runs with one slice assignment, and the
+a-balance scans (:mod:`repro.skipgraph.balance`) read bit columns through
+:meth:`ArrayBitStore.bit_column` — one vectorised gather instead of a
+Python probe per member.  Everything remains answerable by the dict/list
+path, which stays the executable reference (results are property-tested
+identical with the store attached and absent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayBitStore"]
+
+Key = Hashable
+Bits = Tuple[int, ...]
+
+#: Bit value marking "this row has no bit at that level" in gathered columns.
+NO_BIT = -1
+
+_INITIAL_ROWS = 256
+_INITIAL_DEPTH = 24
+
+
+class ArrayBitStore:
+    """Membership bits of a node population as one ``int8`` matrix."""
+
+    __slots__ = ("_rows", "_free", "_bits", "_lengths", "_capacity", "_depth")
+
+    def __init__(self, nodes: Sequence[Tuple[Key, Bits]] = ()) -> None:
+        self._rows: Dict[Key, int] = {}
+        self._free: List[int] = []
+        self._capacity = max(_INITIAL_ROWS, 2 * len(nodes))
+        self._depth = _INITIAL_DEPTH
+        self._bits = np.zeros((self._capacity, self._depth), dtype=np.int8)
+        self._lengths = np.zeros(self._capacity, dtype=np.int32)
+        for key, bits in nodes:
+            self.insert(key, bits)
+
+    # -------------------------------------------------------------- capacity
+    def _grow_rows(self) -> None:
+        new_capacity = self._capacity * 2
+        bits = np.zeros((new_capacity, self._depth), dtype=np.int8)
+        bits[: self._capacity] = self._bits
+        lengths = np.zeros(new_capacity, dtype=np.int32)
+        lengths[: self._capacity] = self._lengths
+        self._bits = bits
+        self._lengths = lengths
+        self._free.extend(range(new_capacity - 1, self._capacity - 1, -1))
+        self._capacity = new_capacity
+
+    def _grow_depth(self, needed: int) -> None:
+        new_depth = max(needed, self._depth * 2)
+        bits = np.zeros((self._capacity, new_depth), dtype=np.int8)
+        bits[:, : self._depth] = self._bits
+        self._bits = bits
+        self._depth = new_depth
+
+    def _claim_row(self, key: Key) -> int:
+        free = self._free
+        if not free:
+            if len(self._rows) >= self._capacity:
+                self._grow_rows()
+            if not free:
+                row = len(self._rows)
+                self._rows[key] = row
+                return row
+        row = free.pop()
+        self._rows[key] = row
+        return row
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, key: Key, bits: Bits) -> None:
+        if len(bits) > self._depth:
+            self._grow_depth(len(bits))
+        row = self._claim_row(key)
+        if bits:
+            self._bits[row, : len(bits)] = bits
+        self._lengths[row] = len(bits)
+
+    def remove(self, key: Key) -> None:
+        row = self._rows.pop(key)
+        self._free.append(row)
+
+    def rewrite(self, key: Key, bits: Bits) -> None:
+        if len(bits) > self._depth:
+            self._grow_depth(len(bits))
+        row = self._rows[key]
+        if bits:
+            self._bits[row, : len(bits)] = bits
+        self._lengths[row] = len(bits)
+
+    def rewrite_run(self, keys: Sequence[Key], bits: Bits) -> None:
+        """Give every key of ``keys`` the same vector — one slice assignment."""
+        if len(bits) > self._depth:
+            self._grow_depth(len(bits))
+        rows_map = self._rows
+        rows = [rows_map[key] for key in keys]
+        if bits:
+            self._bits[rows, : len(bits)] = bits
+        self._lengths[rows] = len(bits)
+
+    def truncate_run(self, keys: Sequence[Key], length: int) -> None:
+        """Truncate every key of ``keys`` to ``length`` bits (lengths only)."""
+        rows_map = self._rows
+        self._lengths[[rows_map[key] for key in keys]] = length
+
+    def remove_run(self, keys: Sequence[Key]) -> None:
+        rows_map = self._rows
+        free = self._free
+        for key in keys:
+            free.append(rows_map.pop(key))
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._rows
+
+    def vector(self, key: Key) -> Bits:
+        row = self._rows[key]
+        return tuple(int(b) for b in self._bits[row, : self._lengths[row]])
+
+    def bit_column(self, keys: Sequence[Key], level: int) -> np.ndarray:
+        """Bit ``level`` (0-based) of every key, :data:`NO_BIT` where absent.
+
+        The vectorised form of the scanners' per-member probe
+        ``bits[level] if len(bits) > level else None``.
+        """
+        rows = np.fromiter(
+            map(self._rows.__getitem__, keys), dtype=np.intp, count=len(keys)
+        )
+        if level < self._depth:
+            column = self._bits[rows, level]
+        else:
+            column = np.full(len(rows), NO_BIT, dtype=np.int8)
+        column[self._lengths[rows] <= level] = NO_BIT
+        return column

@@ -161,6 +161,9 @@ def verify_skip_graph_integrity(
                     return violations
 
     # 3a. Cached lists: membership-prefix consistency against the derivation.
+    # Merge lazy insertion buffers first: a pending key is structurally
+    # present (node table, prefix counts) but not yet in its cached list.
+    graph._flush_pending()
     for (level, prefix), cached in sorted(graph._list_cache.items()):
         expected = sorted(derived.get((level, prefix), []))
         if list(cached) != expected:

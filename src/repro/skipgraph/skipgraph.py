@@ -52,12 +52,91 @@ __all__ = ["SkipGraph"]
 Prefix = Tuple[int, ...]
 
 
+def _merge_sorted(dst: List, added: List) -> None:
+    """Merge sorted ``added`` into sorted ``dst`` in place.
+
+    Three regimes.  Dense batches append and re-sort: timsort sees exactly
+    two sorted runs and gallops, one comparison-bounded merge pass for the
+    whole batch.  Tiny batches (or small lists) use ``insort`` — one C
+    memmove per key.  In between — a handful of keys into a huge list —
+    the list is rebuilt with one slice copy per gap, so every element is
+    copied once instead of shifted once per inserted key.
+    """
+    size = len(dst)
+    batch = len(added)
+    if batch * 24 >= size:
+        dst.extend(added)
+        dst.sort()
+        return
+    if batch < 4 or size < 16384:
+        for key in added:
+            insort(dst, key)
+        return
+    # Middle regime — a handful of keys into a huge list: k insort memmoves
+    # would each shift ~size/2 slots, so rebuild instead with k+1 slice
+    # copies (every element copied once, all in C).
+    out: List = []
+    position = 0
+    for key in added:
+        index = bisect_left(dst, key, position)
+        out.extend(dst[position:index])
+        out.append(key)
+        position = index
+    out.extend(dst[position:])
+    dst[:] = out
+
+
+def _delete_sorted(dst: List, removed: List) -> None:
+    """Delete every key of ``removed`` from sorted ``dst`` in place.
+
+    The removal mirror of :func:`_merge_sorted`: sparse batches pay one
+    bisect plus one C memmove per key, a handful of keys in a huge list
+    get the slice-rebuild treatment, dense batches one rebuild pass with
+    an O(1) set probe per surviving element.  Keys absent from ``dst``
+    are ignored in every regime.
+    """
+    size = len(dst)
+    batch = len(removed)
+    if batch * 24 >= size:
+        doomed = set(removed)
+        dst[:] = [key for key in dst if key not in doomed]
+        return
+    if batch < 4 or size < 16384:
+        for key in removed:
+            index = bisect_left(dst, key)
+            if index < len(dst) and dst[index] == key:
+                del dst[index]
+        return
+    out: List = []
+    position = 0
+    for key in sorted(removed):
+        index = bisect_left(dst, key, position)
+        if index < len(dst) and dst[index] == key:
+            out.extend(dst[position:index])
+            position = index + 1
+    out.extend(dst[position:])
+    dst[:] = out
+
+
+#: Lists at least this long take insertions through a lazy pending buffer
+#: (merged on the next read) instead of an eager ``insort``: each insort
+#: into a six-figure list is an O(n) memmove, and the churn path lands
+#: dozens of dummies per request.  Shorter lists are patched eagerly.
+_PENDING_MIN = 4096
+
+
 class SkipGraph:
     """A skip graph over totally ordered keys."""
 
     def __init__(self, nodes: Optional[Iterable[SkipGraphNode]] = None) -> None:
         self._nodes: Dict[Key, SkipGraphNode] = {}
         self._sorted_keys: List[Key] = []
+        # Lazy insertion buffers for long lists (see _PENDING_MIN): sorted
+        # keys inserted into the structure but not yet merged into the base
+        # list / a cached list.  Every read path flushes before exposing the
+        # list; an entry in _pending_inserts implies the cache entry exists.
+        self._base_pending: List[Key] = []
+        self._pending_inserts: Dict[Tuple[int, Prefix], List[Key]] = {}
         # Cache: (level, prefix bits) -> keys of that list, in key order.
         self._list_cache: Dict[Tuple[int, Prefix], List[Key]] = {}
         # Lazily built key -> index maps for cached lists (O(1) neighbours).
@@ -72,9 +151,32 @@ class SkipGraph:
         # the hot path (membership rewrites of real nodes) never pays for it.
         self._dummy_prefix_counts: Dict[Prefix, int] = {}
         self._dummy_count = 0
+        # Optional numpy mirror of the membership bits (attach_array_store).
+        self._array_store = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
+
+    # --------------------------------------------------- lazy insert buffers
+    def _base_list(self) -> List[Key]:
+        """The base (level-0) list with any pending insertions merged."""
+        pending = self._base_pending
+        if pending:
+            self._base_pending = []
+            _merge_sorted(self._sorted_keys, pending)
+        return self._sorted_keys
+
+    def _flush_list(self, cache_key: Tuple[int, Prefix], cached: List[Key]) -> None:
+        pending = self._pending_inserts.pop(cache_key, None)
+        if pending is not None:
+            _merge_sorted(cached, pending)
+
+    def _flush_pending(self) -> None:
+        """Merge every outstanding lazy insertion buffer (integrity hook)."""
+        self._base_list()
+        if self._pending_inserts:
+            for cache_key in list(self._pending_inserts):
+                self._flush_list(cache_key, self._list_cache[cache_key])
 
     # ------------------------------------------------------------- population
     def add_node(self, node: SkipGraphNode) -> None:
@@ -90,18 +192,31 @@ class SkipGraph:
         if node.key in self._nodes:
             raise ValueError(f"duplicate key {node.key!r}")
         self._nodes[node.key] = node
-        insort(self._sorted_keys, node.key)
+        if len(self._sorted_keys) >= _PENDING_MIN:
+            insort(self._base_pending, node.key)
+        else:
+            insort(self._sorted_keys, node.key)
         bits = node.membership.bits
         if node.is_dummy:
             self._dummy_count += 1
         self._register_vector(bits, dummy=node.is_dummy)
+        if self._array_store is not None:
+            self._array_store.insert(node.key, bits)
         list_cache = self._list_cache
+        pending_inserts = self._pending_inserts
         pop_pos = self._pos_cache.pop
         for level in range(1, len(bits) + 1):
             cache_key = (level, bits[:level])
             cached = list_cache.get(cache_key)
             if cached is not None:
-                insort(cached, node.key)
+                if len(cached) >= _PENDING_MIN:
+                    bucket = pending_inserts.get(cache_key)
+                    if bucket is None:
+                        pending_inserts[cache_key] = [node.key]
+                    else:
+                        insort(bucket, node.key)
+                else:
+                    insort(cached, node.key)
                 pop_pos(cache_key, None)
 
     def remove_node(self, key: Key) -> SkipGraphNode:
@@ -112,18 +227,24 @@ class SkipGraph:
         node = self._nodes.pop(key, None)
         if node is None:
             raise KeyError(f"no node with key {key!r}")
-        index = bisect_left(self._sorted_keys, key)
-        del self._sorted_keys[index]
+        base = self._base_list()
+        index = bisect_left(base, key)
+        del base[index]
         bits = node.membership.bits
         if node.is_dummy:
             self._dummy_count -= 1
         self._unregister_vector(bits, dummy=node.is_dummy)
+        if self._array_store is not None:
+            self._array_store.remove(key)
         list_cache = self._list_cache
+        pending_inserts = self._pending_inserts
         pop_pos = self._pos_cache.pop
         for level in range(1, len(bits) + 1):
             cache_key = (level, bits[:level])
             cached = list_cache.get(cache_key)
             if cached is not None:
+                if pending_inserts:
+                    self._flush_list(cache_key, cached)
                 member_index = bisect_left(cached, key)
                 if member_index < len(cached) and cached[member_index] == key:
                     del cached[member_index]
@@ -143,18 +264,18 @@ class SkipGraph:
         return len(self._nodes)
 
     def __iter__(self) -> Iterator[SkipGraphNode]:
-        for key in self._sorted_keys:
+        for key in self._base_list():
             yield self._nodes[key]
 
     @property
     def keys(self) -> List[Key]:
         """All keys in ascending order (including dummy nodes)."""
-        return list(self._sorted_keys)
+        return list(self._base_list())
 
     @property
     def real_keys(self) -> List[Key]:
         """Keys of non-dummy nodes in ascending order."""
-        return [k for k in self._sorted_keys if not self._nodes[k].is_dummy]
+        return [k for k in self._base_list() if not self._nodes[k].is_dummy]
 
     @property
     def real_count(self) -> int:
@@ -167,10 +288,10 @@ class SkipGraph:
         return self._dummy_count
 
     def nodes(self) -> List[SkipGraphNode]:
-        return [self._nodes[key] for key in self._sorted_keys]
+        return [self._nodes[key] for key in self._base_list()]
 
     def dummy_keys(self) -> List[Key]:
-        return [k for k in self._sorted_keys if self._nodes[k].is_dummy]
+        return [k for k in self._base_list() if self._nodes[k].is_dummy]
 
     # ------------------------------------------------------------ level lists
     def membership(self, key: Key) -> MembershipVector:
@@ -190,22 +311,47 @@ class SkipGraph:
         keep_prefix = common_prefix_length(old, new)
         self._unregister_vector(old.bits, start=keep_prefix + 1, dummy=node.is_dummy)
         self._register_vector(new.bits, start=keep_prefix + 1, dummy=node.is_dummy)
+        if self._array_store is not None:
+            self._array_store.rewrite(key, new.bits)
         self._invalidate_for_change(old, new, keep_prefix)
 
     def _invalidate_for_change(self, old: MembershipVector, new: MembershipVector, keep_prefix: int) -> None:
         longest = max(len(old), len(new))
         pop_list = self._list_cache.pop
         pop_pos = self._pos_cache.pop
+        pop_pending = self._pending_inserts.pop
         for level in range(keep_prefix + 1, longest + 1):
             for vector in (old, new):
                 if len(vector) >= level:
                     cache_key = (level, vector.bits[:level])
                     pop_list(cache_key, None)
                     pop_pos(cache_key, None)
+                    pop_pending(cache_key, None)
 
     def invalidate_cache(self) -> None:
         self._list_cache.clear()
         self._pos_cache.clear()
+        # Pending insertions for evicted lists are dropped with their lists
+        # (the keys live in the node table and reappear on re-derivation);
+        # the base list's buffer is merged on its next read.
+        self._pending_inserts.clear()
+
+    def attach_array_store(self) -> None:
+        """Mirror the membership bits into a flat numpy bit matrix.
+
+        After attaching, every membership mutation (single-op and bulk) keeps
+        the mirror in sync, and the a-balance scans gather whole bit columns
+        from it instead of probing node objects one by one.  The dict/list
+        structures remain the source of truth; detach by setting
+        ``_array_store`` back to ``None``.  Copies made with :meth:`copy`
+        never inherit the mirror.
+        """
+        from repro.skipgraph.array_store import ArrayBitStore
+
+        nodes = self._nodes
+        self._array_store = ArrayBitStore(
+            [(key, nodes[key].membership.bits) for key in self._base_list()]
+        )
 
     # ------------------------------------------------- incremental height data
     def _register_vector(self, bits: Prefix, start: int = 1, dummy: bool = False) -> None:
@@ -257,6 +403,300 @@ class SkipGraph:
                 else:
                     del dummy_counts[prefix]
 
+    # ------------------------------------------------------------ bulk kernel
+    def _register_vectors(self, bits: Prefix, count: int, start: int = 1, dummy_count: int = 0) -> None:
+        """Count ``count`` new carriers of every prefix of ``bits`` at once.
+
+        The bulk form of :meth:`_register_vector`: one dictionary update per
+        prefix instead of one per carrier, with the multi-prefix transition
+        taken when the carrier count crosses two in either direction of the
+        batch.
+        """
+        counts = self._prefix_counts
+        multi = self._multi_prefixes_per_level
+        for level in range(start, len(bits) + 1):
+            prefix = bits[:level]
+            old = counts.get(prefix, 0)
+            counts[prefix] = old + count
+            if old < 2 <= old + count:
+                multi[level] = multi.get(level, 0) + 1
+        if dummy_count:
+            dummy_counts = self._dummy_prefix_counts
+            for level in range(start, len(bits) + 1):
+                prefix = bits[:level]
+                dummy_counts[prefix] = dummy_counts.get(prefix, 0) + dummy_count
+
+    def promote_run(self, keys, level: int, bit: int, tracker=None) -> bool:
+        """Append ``bit`` at ``level`` for every key of ``keys`` in one splice.
+
+        The transformation's split loop promotes a whole 0- or 1-sublist at
+        once: every promoted key carries the identical ``level - 1``-bit
+        parent vector and the keys ascend (they are a filtered key-ordered
+        list).  Under that precondition the run shares ONE immutable
+        membership vector, registers the new prefix once with the carrier
+        count, and — when the new prefix had no prior carriers — installs
+        the run directly as the cached list at ``(level, new prefix)``
+        instead of invalidating it ``len(keys)`` times.
+
+        Returns ``False`` (graph untouched) when the precondition does not
+        hold, so callers can fall back to per-op application.  ``tracker``
+        receives the same dirty marks the per-op path would emit, before
+        the mutation.
+        """
+        if not keys:
+            return True
+        nodes = self._nodes
+        first = nodes.get(keys[0])
+        if first is None:
+            return False
+        parent_bits = first.membership.bits
+        if len(parent_bits) != level - 1:
+            return False
+        dummy_count = 0
+        previous = None
+        for key in keys:
+            node = nodes.get(key)
+            if node is None or node.membership.bits != parent_bits:
+                return False
+            if previous is not None and not previous < key:
+                return False
+            previous = key
+            if node.is_dummy:
+                dummy_count += 1
+        new_bits = parent_bits + (bit,)
+        if tracker is not None:
+            tracker.mark_run(level - 1, parent_bits, keys)
+            tracker.mark_run(level, new_bits, keys)
+        prior_carriers = self._prefix_counts.get(new_bits, 0)
+        shared = MembershipVector._from_trusted(new_bits)
+        for key in keys:
+            nodes[key].membership = shared
+        if self._array_store is not None:
+            self._array_store.rewrite_run(keys, new_bits)
+        self._register_vectors(new_bits, len(keys), start=level, dummy_count=dummy_count)
+        cache_key = (level, new_bits)
+        if prior_carriers == 0:
+            # The run is the complete new list: install it rather than
+            # forcing the next read to re-derive it from the parent list.
+            self._list_cache[cache_key] = list(keys)
+        else:
+            self._list_cache.pop(cache_key, None)
+        self._pos_cache.pop(cache_key, None)
+        self._pending_inserts.pop(cache_key, None)
+        return True
+
+    def demote_run(self, keys, length: int, tracker=None) -> bool:
+        """Truncate every key of ``keys`` to ``length`` bits in one pass.
+
+        The keys must ascend, share their first ``length`` bits (they come
+        from one list of the subtree being rebuilt) and all be longer than
+        ``length``.  Prefix-count updates and cache evictions are aggregated
+        per distinct abandoned prefix — the subtree below the cut is a trie,
+        so the distinct prefixes number far fewer than the per-key total.
+
+        Returns ``False`` (graph untouched) when a precondition fails.
+        """
+        if not keys:
+            return True
+        nodes = self._nodes
+        shared_bits: Optional[Prefix] = None
+        entries = []
+        previous = None
+        for key in keys:
+            node = nodes.get(key)
+            if node is None:
+                return False
+            bits = node.membership.bits
+            if len(bits) <= length:
+                return False
+            if shared_bits is None:
+                shared_bits = bits[:length]
+            elif bits[:length] != shared_bits:
+                return False
+            if previous is not None and not previous < key:
+                return False
+            previous = key
+            entries.append((node, bits))
+        affected: Dict[Tuple[int, Prefix], List[Key]] = {}
+        for (node, bits), key in zip(entries, keys):
+            for level in range(length + 1, len(bits) + 1):
+                entry = (level, bits[:level])
+                bucket = affected.get(entry)
+                if bucket is None:
+                    affected[entry] = [key]
+                else:
+                    bucket.append(key)
+        if tracker is not None:
+            tracker.mark_run(length, shared_bits, keys)
+            for (level, prefix), marked in affected.items():
+                tracker.mark_run(level, prefix, marked)
+        shared = MembershipVector._from_trusted(shared_bits)
+        if self._array_store is not None:
+            self._array_store.truncate_run(keys, length)
+        dummy_counts = self._dummy_prefix_counts
+        for node, bits in entries:
+            node.membership = shared
+            if node.is_dummy:
+                for level in range(length + 1, len(bits) + 1):
+                    prefix = bits[:level]
+                    remaining = dummy_counts[prefix] - 1
+                    if remaining:
+                        dummy_counts[prefix] = remaining
+                    else:
+                        del dummy_counts[prefix]
+        counts = self._prefix_counts
+        multi = self._multi_prefixes_per_level
+        pop_list = self._list_cache.pop
+        pop_pos = self._pos_cache.pop
+        pop_pending = self._pending_inserts.pop
+        for (level, prefix), abandoned in affected.items():
+            old = counts[prefix]
+            new = old - len(abandoned)
+            if new:
+                counts[prefix] = new
+            else:
+                del counts[prefix]
+            if old >= 2 > new:
+                remaining = multi[level] - 1
+                if remaining:
+                    multi[level] = remaining
+                else:
+                    del multi[level]
+            pop_list((level, prefix), None)
+            pop_pos((level, prefix), None)
+            pop_pending((level, prefix), None)
+        return True
+
+    def remove_run(self, keys, tracker=None) -> None:
+        """Remove every node in ``keys`` (the bulk form of :meth:`remove_node`).
+
+        End state identical to removing one by one; the prefix-index and
+        cache bookkeeping is aggregated per distinct prefix — the dummies a
+        transformation clears share their deep prefixes almost entirely, so
+        the dictionary traffic collapses from O(keys * depth) to roughly
+        O(distinct prefixes).  ``tracker`` marks are emitted for every key
+        before any node is removed (marks need pre-departure vectors).
+        """
+        if tracker is not None:
+            for key in keys:
+                tracker.mark_remove(self, key)
+        nodes = self._nodes
+        store = self._array_store
+        affected: Dict[Tuple[int, Prefix], List[Key]] = {}
+        dummy_affected: Dict[Tuple[int, Prefix], int] = {}
+        for key in keys:
+            node = nodes.pop(key, None)
+            if node is None:
+                raise KeyError(f"no node with key {key!r}")
+            bits = node.membership.bits
+            if node.is_dummy:
+                self._dummy_count -= 1
+            if store is not None:
+                store.remove(key)
+            for level in range(1, len(bits) + 1):
+                entry = (level, bits[:level])
+                bucket = affected.get(entry)
+                if bucket is None:
+                    affected[entry] = [key]
+                else:
+                    bucket.append(key)
+                if node.is_dummy:
+                    dummy_affected[entry] = dummy_affected.get(entry, 0) + 1
+        _delete_sorted(self._base_list(), list(keys))
+        counts = self._prefix_counts
+        multi = self._multi_prefixes_per_level
+        dummy_counts = self._dummy_prefix_counts
+        list_cache = self._list_cache
+        pending_inserts = self._pending_inserts
+        pop_pos = self._pos_cache.pop
+        for (level, prefix), removed in affected.items():
+            old = counts[prefix]
+            new = old - len(removed)
+            if new:
+                counts[prefix] = new
+            else:
+                del counts[prefix]
+            if old >= 2 > new:
+                remaining = multi[level] - 1
+                if remaining:
+                    multi[level] = remaining
+                else:
+                    del multi[level]
+            dummies_gone = dummy_affected.get((level, prefix), 0)
+            if dummies_gone:
+                remaining = dummy_counts[prefix] - dummies_gone
+                if remaining:
+                    dummy_counts[prefix] = remaining
+                else:
+                    del dummy_counts[prefix]
+            cached = list_cache.get((level, prefix))
+            if cached is not None:
+                if pending_inserts:
+                    self._flush_list((level, prefix), cached)
+                _delete_sorted(cached, removed)
+                pop_pos((level, prefix), None)
+
+    def insert_run(self, new_nodes, tracker=None) -> None:
+        """Insert every node of ``new_nodes`` (the bulk form of :meth:`add_node`).
+
+        End state identical to adding one by one.  The base list and each
+        affected cached list are patched with one merge instead of one
+        ``insort`` memmove per node — the win that matters when a repair
+        round lands hundreds of dummies into a six-figure base list.
+        Membership vectors may differ between the nodes; keys need not be
+        ordered but must be fresh and distinct.  ``tracker`` receives the
+        same ``mark_insert`` calls the per-op path would emit.
+        """
+        if not new_nodes:
+            return
+        if tracker is not None:
+            for node in new_nodes:
+                tracker.mark_insert(node.key, node.membership.bits)
+        nodes = self._nodes
+        store = self._array_store
+        new_keys: List[Key] = []
+        by_list: Dict[Tuple[int, Prefix], List[Key]] = {}
+        list_cache = self._list_cache
+        for node in new_nodes:
+            key = node.key
+            if key in nodes:
+                raise ValueError(f"duplicate key {key!r}")
+            nodes[key] = node
+            new_keys.append(key)
+            bits = node.membership.bits
+            if node.is_dummy:
+                self._dummy_count += 1
+            self._register_vector(bits, dummy=node.is_dummy)
+            if store is not None:
+                store.insert(key, bits)
+            for level in range(1, len(bits) + 1):
+                cache_key = (level, bits[:level])
+                if cache_key in list_cache:
+                    bucket = by_list.get(cache_key)
+                    if bucket is None:
+                        by_list[cache_key] = [key]
+                    else:
+                        bucket.append(key)
+        new_keys.sort()
+        if len(self._sorted_keys) >= _PENDING_MIN:
+            _merge_sorted(self._base_pending, new_keys)
+        else:
+            _merge_sorted(self._sorted_keys, new_keys)
+        pending_inserts = self._pending_inserts
+        pop_pos = self._pos_cache.pop
+        for cache_key, added in by_list.items():
+            added.sort()
+            cached = list_cache[cache_key]
+            if len(cached) >= _PENDING_MIN:
+                bucket = pending_inserts.get(cache_key)
+                if bucket is None:
+                    pending_inserts[cache_key] = added
+                else:
+                    _merge_sorted(bucket, added)
+            else:
+                _merge_sorted(cached, added)
+            pop_pos(cache_key, None)
+
     # ------------------------------------------------------ real-prefix index
     def real_prefix_count(self, prefix: Prefix) -> int:
         """How many *real* (non-dummy) nodes carry ``prefix`` — O(1).
@@ -296,18 +736,22 @@ class SkipGraph:
         missing level rather than a scan over all nodes.
         """
         if level == 0:
-            return self._sorted_keys
+            return self._base_list()
         cache = self._list_cache
         cached = cache.get((level, prefix_bits))
         if cached is not None:
+            if self._pending_inserts:
+                self._flush_list((level, prefix_bits), cached)
             return cached
         base_level = level - 1
         while base_level > 0 and (base_level, prefix_bits[:base_level]) not in cache:
             base_level -= 1
         if base_level == 0:
-            members = self._sorted_keys
+            members = self._base_list()
         else:
             members = cache[(base_level, prefix_bits[:base_level])]
+            if self._pending_inserts:
+                self._flush_list((base_level, prefix_bits[:base_level]), members)
         nodes = self._nodes
         for depth in range(base_level + 1, level + 1):
             wanted = prefix_bits[depth - 1]
@@ -355,7 +799,7 @@ class SkipGraph:
     def list_of(self, key: Key, level: int) -> List[Key]:
         """Keys of the linked list containing ``key`` at ``level`` (key order)."""
         if level == 0:
-            return list(self._sorted_keys)
+            return list(self._base_list())
         node = self._nodes[key]
         if len(node.membership) < level:
             return [key]
@@ -368,9 +812,9 @@ class SkipGraph:
         singleton lists keyed by their full vector (padded marker lists).
         """
         if level == 0:
-            return {(): list(self._sorted_keys)}
+            return {(): list(self._base_list())}
         lists: Dict[Prefix, List[Key]] = {}
-        for key in self._sorted_keys:
+        for key in self._base_list():
             bits = self._nodes[key].membership.bits
             # Nodes shorter than the level are singletons beyond their depth.
             prefix = bits[:level] if len(bits) >= level else bits
@@ -385,7 +829,7 @@ class SkipGraph:
         map; the base list is searched by bisection.
         """
         if level == 0:
-            keys = self._sorted_keys
+            keys = self._base_list()
             if key not in self._nodes:
                 raise KeyError(f"no node with key {key!r}")
             index = bisect_left(keys, key)
@@ -417,7 +861,7 @@ class SkipGraph:
         if u == v:
             return False
         if level == 0:
-            keys = self._sorted_keys
+            keys = self._base_list()
             index = bisect_left(keys, u)
             if index >= len(keys) or keys[index] != u:
                 return False
@@ -455,7 +899,7 @@ class SkipGraph:
 
     def singleton_levels(self) -> Dict[Key, int]:
         """Singleton level of every node (bulk convenience, O(n * height))."""
-        return {key: self.singleton_level(key) for key in self._sorted_keys}
+        return {key: self.singleton_level(key) for key in self._base_list()}
 
     def common_level(self, u: Key, v: Key) -> int:
         """Highest level at which ``u`` and ``v`` share a linked list (``alpha``)."""
@@ -491,7 +935,8 @@ class SkipGraph:
         singletons.
         """
         seen_vectors: Dict[Tuple[int, ...], Key] = {}
-        for key in self._sorted_keys:
+        sorted_keys = self._base_list()
+        for key in sorted_keys:
             node = self._nodes[key]
             if node.is_dummy:
                 continue
@@ -503,7 +948,7 @@ class SkipGraph:
                     f"{''.join(map(str, vector))!r}; neither becomes singleton"
                 )
             seen_vectors[vector] = key
-        for first, second in zip(self._sorted_keys, self._sorted_keys[1:]):
+        for first, second in zip(sorted_keys, sorted_keys[1:]):
             if not first < second:
                 raise ValueError(f"keys not strictly sorted: {first!r} !< {second!r}")
 
@@ -517,7 +962,7 @@ class SkipGraph:
     # ------------------------------------------------------------------ misc
     def copy(self) -> "SkipGraph":
         clone = SkipGraph()
-        for key in self._sorted_keys:
+        for key in self._base_list():
             node = self._nodes[key]
             clone.add_node(
                 SkipGraphNode(
@@ -531,7 +976,7 @@ class SkipGraph:
 
     def membership_table(self) -> Dict[Key, str]:
         """Mapping key -> membership vector string (for display and tests)."""
-        return {key: str(self._nodes[key].membership) for key in self._sorted_keys}
+        return {key: str(self._nodes[key].membership) for key in self._base_list()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SkipGraph(n={len(self)}, height={self.height()})"

@@ -81,6 +81,11 @@ class BalancedSkipList:
         self.bounds = SupportBounds.for_parameter(a)
         self._rng = rng or make_rng()
         self.levels: List[List[Any]] = [list(items)]
+        # Per constructed level: positions of the promoted nodes within the
+        # level below, and the largest gap (reused by segments() and
+        # broadcast_rounds() instead of re-deriving them per call).
+        self._promoted_positions: List[List[int]] = []
+        self._level_gaps: List[int] = []
         self.construction_rounds = 0
         self._construct()
 
@@ -88,25 +93,41 @@ class BalancedSkipList:
     def _construct(self) -> None:
         while len(self.levels[-1]) > 1:
             lower = self.levels[-1]
-            upper = self._promote(lower)
-            max_gap = self._max_gap(lower, upper)
+            upper, positions, max_gap = self._promote(lower)
             self.construction_rounds += 1 + max_gap + self.REPAIR_ROUNDS_PER_LEVEL
             self.levels.append(upper)
+            self._promoted_positions.append(positions)
+            self._level_gaps.append(max_gap)
 
-    def _promote(self, lower: Sequence[Any]) -> List[Any]:
-        """One level of promotion with the deterministic support repair."""
+    def _promote(self, lower: Sequence[Any]) -> Tuple[List[Any], List[int], int]:
+        """One level of promotion with the deterministic support repair.
+
+        Returns the promoted nodes, their positions within ``lower`` and the
+        largest gap between consecutive promoted nodes (tail included) — the
+        same value :meth:`_max_gap` derives, tracked for free during the
+        sweep.  One coin flip is drawn per candidate regardless of the
+        outcome, keeping the RNG stream identical to the reference sweep.
+        """
         promoted = [lower[0]]
+        positions = [0]
         gap = 0  # lower-level nodes since the previous promoted node
+        max_gap = 0
+        rng_random = self._rng.random
+        threshold = 1.0 / self.a
+        bound_max = self.bounds.maximum
+        bound_min = self.bounds.minimum
         for item in lower[1:]:
             gap += 1
-            wants_promotion = self._rng.random() < 1.0 / self.a
-            if gap >= self.bounds.maximum:
+            wants_promotion = rng_random() < threshold
+            if gap >= bound_max or (wants_promotion and gap >= bound_min):
                 promoted.append(item)
+                positions.append(positions[-1] + gap)
+                if gap > max_gap:
+                    max_gap = gap
                 gap = 0
-            elif wants_promotion and gap >= self.bounds.minimum:
-                promoted.append(item)
-                gap = 0
-        return promoted
+        if gap > max_gap:  # the unpromoted tail counts toward the gap bound
+            max_gap = gap
+        return promoted, positions, max_gap
 
     @staticmethod
     def _max_gap(lower: Sequence[Any], upper: Sequence[Any]) -> int:
@@ -166,21 +187,12 @@ class BalancedSkipList:
         lower = self.levels[level]
         if level + 1 >= self.height:
             return [(lower[0], list(lower))]
-        upper = set(self.levels[level + 1])
-        result: List[Tuple[Any, List[Any]]] = []
-        current_owner: Any = None
-        current_members: List[Any] = []
-        for item in lower:
-            if item in upper:
-                if current_owner is not None:
-                    result.append((current_owner, current_members))
-                current_owner = item
-                current_members = [item]
-            else:
-                current_members.append(item)
-        if current_owner is not None:
-            result.append((current_owner, current_members))
-        return result
+        # The promoted nodes' positions were recorded at construction; each
+        # segment is one slice of the lower level (first promoted node is
+        # always lower[0], so the slices cover the whole level).
+        positions = self._promoted_positions[level]
+        ends = positions[1:] + [len(lower)]
+        return [(lower[start], lower[start:end]) for start, end in zip(positions, ends)]
 
     def is_support_bounded(self, ignore_tail: bool = True) -> bool:
         """Check the ``a/2 <= support <= 2a`` invariant on every level.
@@ -211,7 +223,7 @@ class BalancedSkipList:
         The value travels down one level per round and then along each
         segment; the longest chain dominates.
         """
-        per_level_gap = [self._max_gap(self.levels[d], self.levels[d + 1]) for d in range(self.height - 1)]
+        per_level_gap = self._level_gaps
         return (self.height - 1) + (max(per_level_gap) if per_level_gap else 0)
 
     def convergecast_rounds(self) -> int:

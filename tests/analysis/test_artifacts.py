@@ -308,3 +308,45 @@ class TestPipelineArtifacts:
         artifact = pipeline_artifact()
         artifact.pipelines[1].matches_sequential = False
         assert "| NO |" in render_comparison([artifact])
+
+
+def phased_artifact():
+    artifact = sample_artifact()
+    artifact.algorithms[0].phases = {
+        "route": 0.4, "plan": 6.0, "apply": 2.1, "repair": 1.0,
+    }
+    return artifact
+
+
+class TestPhaseArtifacts:
+    def test_round_trip_preserves_phase_rows(self, tmp_path):
+        path = write_artifact(phased_artifact(), tmp_path)
+        loaded = load_artifact(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.algorithm("dsg").phases == {
+            "route": 0.4, "plan": 6.0, "apply": 2.1, "repair": 1.0,
+        }
+        # Algorithms without instrumentation round-trip an empty mapping.
+        assert loaded.algorithm("static-random").phases == {}
+
+    def test_schema_v5_files_load_without_phases(self, tmp_path):
+        path = write_artifact(sample_artifact(), tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 5
+        for entry in data["algorithms"]:
+            del entry["phases"]
+        path.write_text(json.dumps(data))
+        loaded = load_artifact(path)
+        assert loaded.algorithm("dsg").phases == {}
+        assert loaded.algorithm("dsg").requests == 2000
+
+    def test_render_includes_phase_table(self):
+        report = render_comparison([phased_artifact()])
+        assert "| phase breakdown | route s | plan s | apply s | repair s | accounted |" in report
+        assert "| dsg | 0.4 | 6.0 | 2.1 | 1.0 | 9.5 (95%) |" in report
+        # The uninstrumented algorithm contributes no phase row.
+        assert report.count("| static-random |") == 1
+
+    def test_render_without_phases_omits_table(self):
+        report = render_comparison([sample_artifact()])
+        assert "phase breakdown" not in report

@@ -1,0 +1,224 @@
+"""Property tests for the batched plan-application kernel (PR 9 tentpole).
+
+Three layers of equivalence, all against the executable reference path:
+
+* **applier**: :func:`~repro.core.local_ops.apply_ops_batch` must leave the
+  graph *and* the a-balance dirty marks exactly as op-by-op
+  :func:`~repro.core.local_ops.apply_ops` does — memberships, level lists,
+  the incremental prefix indexes, and the tracker state;
+* **bulk entry points**: ``insert_run`` must equal a loop of ``add_node``;
+* **end to end**: a DSG serving the same workload under every toggle combo
+  (``use_batched_apply`` x ``use_plan_compaction`` x ``use_array_lists``)
+  must produce identical per-request costs, identical topology and an
+  identical RNG stream — byte-identical semantics, only the wall clock may
+  differ.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.local_ops import apply_op, apply_ops, apply_ops_batch
+from repro.skipgraph.balance import BalanceTracker
+from repro.skipgraph.build import build_skip_graph
+from repro.skipgraph.node import SkipGraphNode
+from repro.skipgraph.membership import MembershipVector
+from repro.skipgraph.skipgraph import SkipGraph, _delete_sorted, _merge_sorted
+from repro.workloads import generate_workload
+
+from test_plan_opt import graph_state, synthesize_plan
+
+
+def index_state(graph: SkipGraph):
+    """The incremental prefix indexes, normalised (zero counts dropped)."""
+    return (
+        {p: c for p, c in graph._prefix_counts.items() if c},
+        {lvl: c for lvl, c in graph._multi_prefixes_per_level.items() if c},
+        {p: c for p, c in graph._dummy_prefix_counts.items() if c},
+    )
+
+
+def fresh_tracker() -> BalanceTracker:
+    """A tracker past its initial everything-dirty state, so marks record."""
+    tracker = BalanceTracker()
+    tracker._all_dirty = False
+    return tracker
+
+
+def tracker_state(tracker: BalanceTracker):
+    return (tracker._all_dirty, tracker._dirty)
+
+
+class TestBatchedApplierEquivalence:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=200), min_size=2, max_size=24),
+        st.lists(st.integers(min_value=0, max_value=2**24), min_size=0, max_size=40),
+        st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_equals_op_by_op(self, keys, choices, seed):
+        initial = build_skip_graph(sorted(keys), rng=random.Random(seed))
+        scratch = initial.copy()
+        ops = synthesize_plan(scratch, choices)
+
+        sequential = initial.copy()
+        sequential_tracker = fresh_tracker()
+        for op in ops:
+            apply_op(sequential, op, sequential_tracker)
+
+        batched = initial.copy()
+        batched_tracker = fresh_tracker()
+        apply_ops_batch(batched, ops, tracker=batched_tracker)
+
+        assert graph_state(batched) == graph_state(sequential)
+        assert index_state(batched) == index_state(sequential)
+        assert tracker_state(batched_tracker) == tracker_state(sequential_tracker)
+
+    @given(st.integers(min_value=6, max_value=24), st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_recorded_dsg_plans_apply_batched_equivalently(self, n, seed):
+        keys = list(range(1, n + 1))
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed))
+        baseline = dsg.graph.copy()
+        requests = generate_workload("temporal", keys, 12, seed=seed, working_set_size=4)
+        for result in dsg.run_sequence(requests):
+            apply_ops_batch(baseline, result.ops)
+        assert graph_state(baseline) == graph_state(dsg.graph)
+        assert index_state(baseline) == index_state(dsg.graph)
+
+
+class TestBulkEntryPoints:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=400), min_size=2, max_size=30),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=401, max_value=999),
+                st.lists(st.integers(0, 1), max_size=4),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda entry: entry[0],
+        ),
+        st.integers(0, 2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insert_run_equals_add_node_loop(self, keys, newcomers, seed):
+        initial = build_skip_graph(sorted(keys), rng=random.Random(seed))
+        nodes = [
+            SkipGraphNode(key=key, membership=MembershipVector(tuple(bits)), is_dummy=dummy)
+            for key, bits, dummy in newcomers
+        ]
+
+        one_by_one = initial.copy()
+        loop_tracker = fresh_tracker()
+        for node in nodes:
+            loop_tracker.mark_insert(node.key, node.membership.bits)
+            one_by_one.add_node(
+                SkipGraphNode(key=node.key, membership=node.membership, is_dummy=node.is_dummy)
+            )
+
+        bulk = initial.copy()
+        bulk_tracker = fresh_tracker()
+        bulk.insert_run(nodes, tracker=bulk_tracker)
+
+        assert graph_state(bulk) == graph_state(one_by_one)
+        assert index_state(bulk) == index_state(one_by_one)
+        assert tracker_state(bulk_tracker) == tracker_state(loop_tracker)
+
+
+TOGGLE_COMBOS = [
+    (True, True, True),    # the default shipping configuration
+    (False, False, False), # the executable reference
+    (True, False, True),   # batching without compaction
+    (False, True, False),  # compaction without batching, dict/list storage
+    (True, True, False),   # kernel on, array-backed storage off
+]
+
+
+class TestEndToEndToggles:
+    @given(st.integers(min_value=8, max_value=20), st.integers(0, 2**20))
+    @settings(max_examples=8, deadline=None)
+    def test_all_toggle_combinations_serve_identically(self, n, seed):
+        keys = list(range(1, n + 1))
+        requests = generate_workload("temporal", keys, 15, seed=seed, working_set_size=5)
+
+        outcomes = []
+        for batched, compaction, array in TOGGLE_COMBOS:
+            dsg = DynamicSkipGraph(
+                keys=keys,
+                config=DSGConfig(
+                    seed=seed,
+                    use_batched_apply=batched,
+                    use_plan_compaction=compaction,
+                    use_array_lists=array,
+                ),
+            )
+            results = dsg.run_sequence(requests)
+            dsg.add_node(n + 1)
+            dsg.add_node(n + 2)
+            dsg.remove_node(keys[seed % n] if keys[seed % n] != requests[-1][0] else n + 1)
+            outcomes.append(
+                (
+                    [(r.cost, r.routing_cost, r.transformation_rounds) for r in results],
+                    graph_state(dsg.graph),
+                    dsg.dummy_count(),
+                    dsg.total_cost(),
+                    dsg._rng.random(),  # RNG stream position must coincide
+                )
+            )
+
+        reference = outcomes[0]
+        for outcome in outcomes[1:]:
+            assert outcome == reference
+
+
+class TestSortedKernelRegimes:
+    """Deterministic coverage of the three merge/delete regimes."""
+
+    def _check_merge(self, size, batch_sizes, seed=3):
+        rng = random.Random(seed)
+        base = sorted(rng.sample(range(size * 4), size))
+        pool = set(base)
+        for k in batch_sizes:
+            added = sorted({x for x in rng.sample(range(size * 4), 3 * k) if x not in pool})[:k]
+            work = list(base)
+            _merge_sorted(work, added)
+            assert work == sorted(base + added)
+
+    def _check_delete(self, size, batch_sizes, seed=4):
+        rng = random.Random(seed)
+        base = sorted(rng.sample(range(size * 4), size))
+        for k in batch_sizes:
+            removed = rng.sample(base, k) + [size * 4 + 1]  # plus one absent key
+            rng.shuffle(removed)
+            doomed = set(removed)
+            work = list(base)
+            _delete_sorted(work, removed)
+            assert work == [x for x in base if x not in doomed]
+
+    def test_merge_tiny_batches_use_insort(self):
+        self._check_merge(1000, [1, 2, 3])
+
+    def test_merge_dense_batches_rebuild(self):
+        self._check_merge(100, [10, 50, 100])
+
+    def test_merge_middle_regime_slice_rebuild(self):
+        # size >= 16384 with 4 <= batch << size/24: the slice-copy regime.
+        self._check_merge(20000, [4, 5, 24, 200])
+
+    def test_delete_all_regimes(self):
+        self._check_delete(100, [10, 50])
+        self._check_delete(1000, [1, 2, 3])
+        self._check_delete(20000, [4, 24, 200])
+
+    def test_merge_into_empty_and_empty_batch(self):
+        work = []
+        _merge_sorted(work, [3, 5])
+        assert work == [3, 5]
+        _merge_sorted(work, [])
+        assert work == [3, 5]
+        _delete_sorted(work, [])
+        assert work == [3, 5]

@@ -1,0 +1,168 @@
+"""Property tests for peephole plan compaction (:mod:`repro.core.plan_opt`).
+
+The contract under test: for any valid plan, applying
+:func:`~repro.core.plan_opt.compact_plan`'s rewrite to a copy of the
+pre-plan graph yields the *same final topology* as the original plan —
+identical membership table, identical real/dummy populations, identical
+derived level lists — while never growing the op count.
+
+Plans come from two generators: synthetic valid op streams built
+constructively against a live graph (each op is chosen to be applicable in
+the state the previous ops produced, which is exactly the validity contract
+recorded plans satisfy), and real plans recorded by DSG runs.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsg import DSGConfig, DynamicSkipGraph
+from repro.core.local_ops import (
+    DemoteOp,
+    DummyInsertOp,
+    DummyRemoveOp,
+    ExtendOp,
+    NodeJoinOp,
+    NodeLeaveOp,
+    PromoteOp,
+    apply_ops,
+    op_from_payload,
+    op_to_payload,
+)
+from repro.core.plan_opt import compact_plan
+from repro.skipgraph.build import build_skip_graph
+from repro.workloads import generate_workload
+
+
+def graph_state(graph):
+    """Full derived topology: memberships, populations and every level list."""
+    lists = {
+        level: graph.lists_at_level(level) for level in range(graph.height() + 1)
+    }
+    return (
+        graph.membership_table(),
+        graph.real_keys,
+        graph.dummy_keys(),
+        lists,
+    )
+
+
+def synthesize_plan(graph, choices):
+    """Turn a stream of integers into a valid plan for ``graph``.
+
+    Ops are applied eagerly to ``graph`` (mirroring the recorder's
+    plan-as-you-apply contract) so each subsequent op is chosen against the
+    state its predecessors produced.
+    """
+    rng = random.Random(0)
+    ops = []
+    next_dummy = max(graph.keys, default=0) + 1000
+    for word in choices:
+        keys = list(graph.keys)
+        if not keys:
+            break
+        kind = word % 6
+        key = keys[(word // 6) % len(keys)]
+        length = len(graph.membership(key))
+        if kind == 0:  # append one bit
+            op = PromoteOp(key, length + 1, (word >> 7) & 1)
+        elif kind == 1:  # rewrite an existing bit
+            if length == 0:
+                continue
+            op = PromoteOp(key, 1 + (word // 11) % length, (word >> 8) & 1)
+        elif kind == 2:  # truncate
+            if length == 0:
+                continue
+            op = DemoteOp(key, (word // 13) % length)
+        elif kind == 3:  # multi-bit extension
+            width = 1 + (word // 17) % 3
+            bits = tuple((word >> shift) & 1 for shift in range(width))
+            op = ExtendOp(key, length + 1, bits)
+        elif kind == 4:  # dummy creation
+            width = (word // 19) % 4
+            bits = tuple(rng.randint(0, 1) for _ in range(width))
+            op = DummyInsertOp(next_dummy, bits)
+            next_dummy += 1
+        else:  # dummy destruction
+            dummies = graph.dummy_keys()
+            if not dummies:
+                continue
+            op = DummyRemoveOp(dummies[(word // 23) % len(dummies)])
+        apply_ops(graph, [op])
+        ops.append(op)
+    return ops
+
+
+class TestCompactionTopology:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=200), min_size=2, max_size=24),
+        st.lists(st.integers(min_value=0, max_value=2**24), min_size=0, max_size=40),
+        st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compacted_plan_reaches_the_same_topology(self, keys, choices, seed):
+        initial = build_skip_graph(sorted(keys), rng=random.Random(seed))
+        scratch = initial.copy()
+        ops = synthesize_plan(scratch, choices)
+        compacted = compact_plan(ops)
+        assert len(compacted) <= len(ops)
+
+        # Synthetic plans may leave states no planner would (e.g. two real
+        # nodes sharing a vector), which is fine here: the property under
+        # test is state equivalence, not planner-level well-formedness.
+        replay = initial.copy()
+        apply_ops(replay, compacted)
+        assert graph_state(replay) == graph_state(scratch)
+
+    @given(st.integers(min_value=6, max_value=24), st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_recorded_dsg_plans_compact_equivalently(self, n, seed):
+        keys = list(range(1, n + 1))
+        dsg = DynamicSkipGraph(keys=keys, config=DSGConfig(seed=seed))
+        baseline = dsg.graph.copy()
+        requests = generate_workload("temporal", keys, 12, seed=seed, working_set_size=4)
+        for result in dsg.run_sequence(requests):
+            apply_ops(baseline, compact_plan(result.ops))
+        assert graph_state(baseline) == graph_state(dsg.graph)
+
+    def test_compaction_coalesces_a_promote_run_into_one_extend(self):
+        key = 7
+        ops = [PromoteOp(key, 3, 1), PromoteOp(key, 4, 0), PromoteOp(key, 5, 1)]
+        assert compact_plan(ops) == [ExtendOp(key, 3, (1, 0, 1))]
+
+    def test_dummy_insert_remove_annihilates(self):
+        ops = [DummyInsertOp(99, (1, 0)), PromoteOp(99, 3, 1), DummyRemoveOp(99)]
+        assert compact_plan(ops) == []
+
+    def test_cost_is_never_charged_for_compacted_ops(self):
+        # Compaction rewrites execution only: the emitted plan must never be
+        # longer than the original, so Equation-1 accounting charged on the
+        # original plan is an upper bound on the executed work.
+        ops = [DemoteOp(5, 2), PromoteOp(5, 3, 1), PromoteOp(5, 4, 1)]
+        compacted = compact_plan(ops)
+        assert len(compacted) <= len(ops)
+        assert compacted == [DemoteOp(5, 2), ExtendOp(5, 3, (1, 1))]
+
+
+class TestOpWireFormat:
+    @given(
+        st.sampled_from([
+            PromoteOp(3, 4, 1),
+            DemoteOp(3, 2),
+            DummyInsertOp(9, (1, 0, 1)),
+            DummyInsertOp(9, ()),
+            DummyRemoveOp(9),
+            NodeJoinOp(11, (0, 1)),
+            NodeLeaveOp(11),
+            ExtendOp(5, 2, (1,)),
+            ExtendOp(5, 7, (0, 1, 1, 0)),
+        ])
+    )
+    def test_payload_roundtrip(self, op):
+        payload = op_to_payload(op)
+        assert op_from_payload(payload) == op
+
+    def test_extend_op_uses_tag_6_with_packed_bits(self):
+        payload = op_to_payload(ExtendOp(5, 7, (1, 0, 1)))
+        assert payload == {"t": 6, "k": 5, "l": 7, "n": 3, "b": 0b101}

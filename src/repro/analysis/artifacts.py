@@ -38,7 +38,11 @@ crash-stop arena rows of ``bench_e16_failures``), version 5 the
 pipelined-serving rows of ``bench_e17_pipeline``), version 6 the optional
 per-algorithm ``phases`` breakdown (wall-clock seconds spent routing,
 planning, applying plans and repairing indexes — the batched-kernel
-profile); older files load as artifacts without the newer rows.
+profile), version 7 the recovery / mid-wave failure counters on
+``failures`` rows (``recoveries``, ``mid_wave_crashes``, ``retried``,
+``retried_delivered``, ``rejoin_links``) with the conservation law
+widened to ``delivered + failed + retried_delivered == requests``; older
+files load as artifacts without the newer rows / counters.
 """
 
 from __future__ import annotations
@@ -61,7 +65,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -243,9 +247,12 @@ class FailureResult:
     crashes, requests:
         Nodes killed and requests injected across all waves.
     delivered, failed:
-        Requests that reached their destination versus requests counted as
-        ``failed_requests`` (stale destinations stranding at a hole's
-        edge).  ``delivered + failed == requests`` for a conserving run.
+        Requests that reached their destination on the first pass versus
+        requests counted as ``failed_requests`` (stale destinations
+        stranding at a hole's edge, or retries exhausted).
+        ``delivered + failed + retried_delivered == requests`` for a
+        conserving run (schema v7 widened the law to absorb mid-wave
+        in-flight casualties that a later retry delivered).
     route_arounds:
         Hops re-forwarded through a k-redundant table because the primary
         neighbour was dark.
@@ -255,12 +262,22 @@ class FailureResult:
     rounds, messages:
         Synchronous rounds and messages over the whole arena.
     congestion_violations, dropped_messages:
-        Must both be zero: crashes land at quiescent boundaries and sends
-        are gated on live links, so nothing is lost in flight.
+        ``congestion_violations`` must be zero always.
+        ``dropped_messages`` must be zero for quiescent-boundary shapes;
+        mid-wave shapes legitimately count in-flight messages absorbed by
+        a crash here (every one is ledger-accounted and retried).
     integrity_clean:
         Every post-repair integrity sweep came back clean.
     wall_seconds:
         Wall-clock simulation time for this arena alone.
+    recoveries, rejoin_links:
+        Crashed keys that rejoined as fresh identities, and the links
+        added splicing them back into every level list (v7).
+    mid_wave_crashes:
+        Crashes fired while requests were in flight (v7).
+    retried, retried_delivered:
+        In-flight casualties re-injected after the repair wave, and how
+        many of those eventually reached their destination (v7).
     """
 
     name: str
@@ -280,10 +297,15 @@ class FailureResult:
     dropped_messages: int = 0
     integrity_clean: bool = True
     wall_seconds: float = 0.0
+    recoveries: int = 0
+    mid_wave_crashes: int = 0
+    retried: int = 0
+    retried_delivered: int = 0
+    rejoin_links: int = 0
 
     @property
     def conserved(self) -> bool:
-        return self.delivered + self.failed == self.requests
+        return self.delivered + self.failed + self.retried_delivered == self.requests
 
     @property
     def delivery_fraction(self) -> float:
@@ -536,15 +558,19 @@ def render_comparison(artifacts: Sequence[BenchmarkArtifact]) -> str:
             lines.append("")
         if artifact.failures:
             lines.append(
-                "| failures | n | k | waves | crashes | requests | delivered | failed "
-                "| route-arounds | repair links | integrity |"
+                "| failures | n | k | waves | crashes | mid-wave | recoveries | requests "
+                "| delivered | failed | retried (ok) | route-arounds | repair links "
+                "| rejoin links | integrity |"
             )
-            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+            lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
             for result in artifact.failures:
                 lines.append(
                     f"| {result.name} | {result.n} | {result.k} | {result.waves} "
-                    f"| {result.crashes} | {result.requests} | {result.delivered} "
-                    f"| {result.failed} | {result.route_arounds} | {result.repair_links} "
+                    f"| {result.crashes} | {result.mid_wave_crashes} | {result.recoveries} "
+                    f"| {result.requests} | {result.delivered} | {result.failed} "
+                    f"| {result.retried} ({result.retried_delivered}) "
+                    f"| {result.route_arounds} | {result.repair_links} "
+                    f"| {result.rejoin_links} "
                     f"| {'clean' if result.integrity_clean else 'VIOLATED'} |"
                 )
             lines.append("")

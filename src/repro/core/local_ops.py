@@ -74,6 +74,7 @@ __all__ = [
     "op_anchor",
     "op_from_payload",
     "op_to_payload",
+    "stale_op_keys",
 ]
 
 Key = Hashable
@@ -590,3 +591,19 @@ def op_anchor(op: LocalOp, graph: SkipGraph) -> Key:
         index = bisect_left(keys, op.key)
         return keys[index - 1] if index > 0 else keys[0]
     return op.key
+
+
+def stale_op_keys(ops: Sequence[LocalOp], dark: Sequence[Key]) -> frozenset:
+    """The ops' *subject* keys that are dark — the unsalvageable part of a plan.
+
+    A crash between a plan's route and execute phases invalidates the plan
+    in one of two ways, and only one is repairable: a dark *anchor* (the
+    base-list predecessor an insertion would execute at crashed) is fixed
+    by recomputing :func:`op_anchor` against the repaired graph — the op
+    itself is untouched; a dark *subject* (``op.key`` names the crashed
+    node: its promote, demote, departure or dummy) cannot be re-aimed at
+    anyone else, so a plan containing one must be abandoned rather than
+    applied stale.  Returns the offending subjects (empty == re-anchorable).
+    """
+    dark_set = frozenset(dark)
+    return frozenset(op.key for op in ops) & dark_set

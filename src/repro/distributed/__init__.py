@@ -58,7 +58,9 @@ from repro.distributed.routing_protocol import (
     make_router,
     networks_equal,
     patch_network,
+    rejoin_crash_links,
     repair_crash_links,
+    RouteLedger,
     run_routing_protocol,
     skip_graph_network,
     trace_route,
@@ -66,6 +68,7 @@ from repro.distributed.routing_protocol import (
 from repro.distributed.failover import (
     FailureArenaReport,
     FailureWaveReport,
+    Wave,
     run_failure_arena,
     segment_waves,
 )
@@ -96,7 +99,10 @@ __all__ = [
     "apply_network_delta",
     "networks_equal",
     "patch_network",
+    "rejoin_crash_links",
     "repair_crash_links",
+    "RouteLedger",
+    "Wave",
     "DSGProcess",
     "DistributedDSG",
     "DistributedDSGReport",

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, fields
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.dsg import DSGConfig, DynamicSkipGraph
 from repro.core.local_ops import (
@@ -68,6 +68,7 @@ from repro.core.local_ops import (
     op_anchor,
     op_from_payload,
     op_to_payload,
+    stale_op_keys,
 )
 from repro.distributed.pipeline import (
     PHASE_COMPLETED,
@@ -79,14 +80,21 @@ from repro.distributed.pipeline import (
     PipelineWindow,
     entry_record,
 )
-from repro.distributed.routing_protocol import NeighborTable, networks_equal, skip_graph_network
+from repro.distributed.routing_protocol import (
+    NeighborTable,
+    networks_equal,
+    repair_crash_links,
+    skip_graph_network,
+)
 from repro.simulation import Message, NodeProcess, RoundContext, Simulator, SimulatorConfig
 from repro.simulation.errors import SimulationError
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 from repro.workloads.scenarios import (
+    CrashEvent,
     JoinEvent,
     LeaveEvent,
+    RecoveryEvent,
     RequestEvent,
     Scenario,
     apply_local_op,
@@ -292,6 +300,10 @@ class DistributedDSGReport:
     dropped_messages: int
     final_nodes: int
     final_height: int
+    crashes: int = 0
+    recoveries: int = 0
+    abandoned_plans: int = 0
+    reanchored_plans: int = 0
     outcomes: List[DistributedRequestOutcome] = field(default_factory=list)
 
     @property
@@ -339,13 +351,41 @@ class DistributedDSG:
         self.joins = 0
         self.leaves = 0
         self.crashes = 0
+        self.recoveries = 0
         self.repair_ops = 0
         self.total_cost = 0
         self.total_routing = 0
+        #: Keys crashed via :meth:`crash_dark` and not yet repaired.
+        self.dark_keys: set = set()
+        self.abandoned_plans = 0
+        self.reanchored_plans = 0
+        #: One-shot fault hook fired between a request's route and execute
+        #: phases (cleared before it runs) — the property tests' instrument
+        #: for landing a crash exactly inside a plan's vulnerability window.
+        self.mid_request_fault: Optional[Callable[[], None]] = None
+        # Reseating the planner after a mid-request repair resets its
+        # running cost counter; the base keeps planner_total_cost exact.
+        self._planner_cost_base = 0
 
     # ------------------------------------------------------------------ serve
     def request(self, source: Key, destination: Key) -> DistributedRequestOutcome:
-        """Serve one communication request: route, plan, execute, rewire."""
+        """Serve one communication request: route, plan, execute, rewire.
+
+        A crash can land *inside* the request — the one-shot
+        ``mid_request_fault`` hook fires between the route and execute
+        phases, exactly the window where the planner's emitted plan is in
+        danger of going stale.  The driver then repairs the holes
+        structurally and either **re-anchors** the plan (every op's anchor
+        is recomputed against the post-repair topology in phase B — the
+        dark-anchor case) or **abandons** it (an op's *subject* crashed:
+        :func:`~repro.core.local_ops.stale_op_keys`, or the disseminating
+        source itself did) with explicit accounting — a stale op is never
+        applied.
+        """
+        if self.dark_keys:
+            # A request entering over open holes repairs them first — the
+            # planner must plan against the topology the messages will see.
+            self.repair_dark()
         plan = self.planner.request(source, destination, keep_result=False)
         first_round = self.sim.round
 
@@ -362,8 +402,35 @@ class DistributedDSG:
             )
         measured = hops - 1
 
-        # Phase B: disseminate the plan as op messages, then rewire.
-        ops = plan.ops or []
+        # The vulnerability window: the plan exists, nothing executed yet.
+        hook, self.mid_request_fault = self.mid_request_fault, None
+        if hook is not None:
+            hook()
+
+        ops = list(plan.ops or [])
+        transformation_rounds = plan.transformation_rounds
+        needs_reseat = False
+        if self.dark_keys:
+            dark = frozenset(self.dark_keys)
+            if not ops:
+                # Nothing in flight to salvage: boundary repair through the
+                # planner keeps both views consistent, no reseat needed.
+                self.repair_dark()
+            else:
+                self._repair_dark_structural()
+                needs_reseat = True
+                if stale_op_keys(ops, dark) or source in dark:
+                    ops = []
+                    transformation_rounds = 0
+                    self.abandoned_plans += 1
+                    # Refund the planner's charge for the transformation the
+                    # protocol never executed, so matches_planner stays
+                    # meaningful across abandons.
+                    self._planner_cost_base -= plan.transformation_rounds
+                else:
+                    self.reanchored_plans += 1
+
+        # Phase B: disseminate the (possibly re-anchored) plan, then rewire.
         if ops:
             payloads = []
             for op in ops:
@@ -378,6 +445,8 @@ class DistributedDSG:
                     f"op dissemination lost work: {executed}/{len(ops)} ops executed"
                 )
             self._apply_ops(ops)
+        if needs_reseat:
+            self._reseat_planner()
 
         outcome = DistributedRequestOutcome(
             source=source,
@@ -385,7 +454,7 @@ class DistributedDSG:
             alpha=plan.alpha,
             measured_distance=measured,
             planned_distance=plan.routing.distance,
-            transformation_rounds=plan.transformation_rounds,
+            transformation_rounds=transformation_rounds,
             ops_executed=len(ops),
             rounds=self.sim.round - first_round,
         )
@@ -436,6 +505,56 @@ class DistributedDSG:
         self.repair_ops += len(ops)
         return len(ops)
 
+    def crash_dark(self, key: Key) -> None:
+        """Crash ``key`` and leave its hole *open*: links dark, no repair.
+
+        The deferred-repair counterpart of :meth:`crash`: the process dies
+        without a goodbye, but the planner and the topology mirror still
+        believe the node exists until :meth:`repair_dark` (at a boundary)
+        or the next request's entry/mid-request handling closes the hole.
+        Dummies cannot crash — they are protocol bookkeeping, not peers.
+        """
+        if not self.topology.has_node(key) or self.topology.node(key).is_dummy:
+            raise SimulationError(f"cannot crash {key!r}: not a live peer")
+        self.sim.crash(key)
+        self.processes.pop(key, None)
+        self.dark_keys.add(key)
+        self.crashes += 1
+
+    def repair_dark(self) -> int:
+        """Planner-consistent boundary repair of every dark key.
+
+        Used when no plan is in flight: each dark key departs through the
+        planner's Section IV-G machinery exactly like :meth:`crash` does,
+        so planner and topology never diverge and no reseat is needed.
+        Returns the number of repair ops executed.
+        """
+        total = 0
+        for key in sorted(self.dark_keys):
+            self.planner.remove_node(key)
+            ops = self.planner.last_churn_ops
+            self._apply_ops(ops)
+            self.repair_ops += len(ops)
+            total += len(ops)
+        self.dark_keys.clear()
+        return total
+
+    def recover(self, key: Key) -> None:
+        """Recover crashed ``key`` as a *fresh identity*.
+
+        Any open dark holes are repaired first (a recovery is a wave
+        boundary), the engine's re-entry ban is lifted
+        (:meth:`~repro.simulation.Simulator.recover`), and the key rejoins
+        through the planner's Section IV-G join — new membership bits, new
+        links, a new process; nothing of the old identity survives.
+        """
+        if self.dark_keys:
+            self.repair_dark()
+        self.sim.recover(key)
+        self.planner.add_node(key)
+        self._apply_ops(self.planner.last_churn_ops)
+        self.recoveries += 1
+
     def run_scenario(self, scenario: Scenario) -> DistributedDSGReport:
         """Serve a whole :class:`~repro.workloads.scenarios.Scenario`."""
         for event in scenario.events:
@@ -445,6 +564,10 @@ class DistributedDSG:
                 self.join(event.key)
             elif isinstance(event, LeaveEvent):
                 self.leave(event.key)
+            elif isinstance(event, CrashEvent):
+                self.crash(event.key)
+            elif isinstance(event, RecoveryEvent):
+                self.recover(event.key)
             else:  # pragma: no cover - the event union is closed
                 raise TypeError(f"unknown scenario event {event!r}")
         return self.report()
@@ -457,7 +580,7 @@ class DistributedDSG:
             joins=self.joins,
             leaves=self.leaves,
             total_cost=self.total_cost,
-            planner_total_cost=self.planner.total_cost(),
+            planner_total_cost=self._planner_cost_base + self.planner.total_cost(),
             total_routing=self.total_routing,
             rounds=metrics.rounds,
             messages=metrics.total_messages,
@@ -467,6 +590,10 @@ class DistributedDSG:
             dropped_messages=metrics.dropped_messages,
             final_nodes=len(self.topology.real_keys),
             final_height=self.topology.height(),
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            abandoned_plans=self.abandoned_plans,
+            reanchored_plans=self.reanchored_plans,
             outcomes=self.outcomes,
         )
 
@@ -486,6 +613,40 @@ class DistributedDSG:
 
     def _executed_total(self) -> int:
         return sum(process.executed for process in self.processes.values())
+
+    def _repair_dark_structural(self) -> None:
+        """Repair dark keys *without* the planner: close links, refresh tables.
+
+        The mid-request path: a Section IV-G departure plan would itself
+        need dissemination — racing the very plan being salvaged — so the
+        holes are closed structurally
+        (:func:`~repro.distributed.routing_protocol.repair_crash_links`)
+        and the planner is reseated from the repaired topology once the
+        salvaged plan has landed (:meth:`_reseat_planner`).
+        """
+        for key in sorted(self.dark_keys):
+            affected, _ = repair_crash_links(self.sim.network, self.topology, key)
+            for neighbor in affected:
+                process = self.processes.get(neighbor)
+                if process is None or not self.topology.has_node(neighbor):
+                    continue
+                process.table = NeighborTable(self.topology, neighbor)
+            for process in self.processes.values():
+                process.dark.discard(key)
+        self.dark_keys.clear()
+
+    def _reseat_planner(self) -> None:
+        """Rebuild the planner over the executed topology after structural repair.
+
+        The mid-request path repairs topology and network behind the
+        planner's back; rather than replay that divergence into its
+        internal state, the planner is reseated on a copy of the post-plan
+        topology — the same ``S_{t+1}`` both views must agree on, so
+        :meth:`topology_matches_planner` holds immediately.  Its running
+        cost counter restarts, which the accumulated base absorbs.
+        """
+        self._planner_cost_base += self.planner.total_cost()
+        self.planner = DynamicSkipGraph(graph=self.topology.copy(), config=self.planner.config)
 
     def _apply_ops(self, ops: List[LocalOp]) -> None:
         """Rewire topology, network, tables and the process population."""
@@ -644,6 +805,19 @@ class PipelinedDSG(DistributedDSG):
         apply_ops(self._shadow, self.planner.last_churn_ops)
         return count
 
+    def recover(self, key: Key) -> None:
+        # Recovery (and any boundary repair it triggers) may run several
+        # churn plans through the planner; re-copying is always exact and
+        # recoveries are rare enough that the copy cost is noise.
+        super().recover(key)
+        self._shadow = self.planner.graph.copy()
+
+    def crash_dark(self, key: Key) -> None:
+        raise SimulationError(
+            "PipelinedDSG serves crashes as pipeline barriers; use crash() "
+            "(the in-flight window drains first, then the sequential path runs)"
+        )
+
     def run_scenario(self, scenario: Scenario) -> PipelinedDSGReport:
         """Serve a whole scenario with up to ``window`` events in flight."""
         self._serve(scenario.events)
@@ -668,15 +842,43 @@ class PipelinedDSG(DistributedDSG):
         self.processes[key] = process
         self.sim.add_process(process)
 
+    def _reseat_planner(self) -> None:
+        super()._reseat_planner()
+        self._shadow = self.planner.graph.copy()
+
     def _serve(self, events) -> None:
-        """The pipeline loop: plan ahead, admit, step, absorb, apply."""
+        """The pipeline loop: plan ahead, admit, step, absorb, apply.
+
+        Crash and recovery events are *barriers*: planning stops at them,
+        every in-flight admission drains (or completes) cleanly, and only
+        then does the sequential crash/recover path run — so a failure can
+        land while a conflict-disjoint window is in flight without ever
+        stranding an admitted message, and ``window=1`` degrades to exactly
+        the sequential arena's behaviour.
+        """
         queue: Deque = deque(events)
         window = self.window
         start_round = self.sim.round
         while queue or self._planned or window.entries:
+            if (
+                queue
+                and isinstance(queue[0], (CrashEvent, RecoveryEvent))
+                and not self._planned
+                and not window.entries
+            ):
+                event = queue.popleft()
+                if isinstance(event, CrashEvent):
+                    self.crash(event.key)
+                else:
+                    self.recover(event.key)
+                continue
             # Plan ahead just past the window (planning is pure bookkeeping
             # on the planner/shadow — no simulator rounds are consumed).
-            while queue and len(self._planned) <= window.depth:
+            while (
+                queue
+                and len(self._planned) <= window.depth
+                and not isinstance(queue[0], (CrashEvent, RecoveryEvent))
+            ):
                 self._planned.append(self._plan_event(queue.popleft()))
             # FIFO admission: the oldest planned event blocks on conflict.
             while self._planned and window.try_admit(self._planned[0]):

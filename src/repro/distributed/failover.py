@@ -32,15 +32,37 @@ sequence of **waves**, each of which is the full crash-stop lifecycle:
    repaired structure *and* the live network against it; the arena's
    standing invariant is that every sweep comes back clean.
 
-Because crashes land only at quiescent wave boundaries and the routers'
-flow control gates every send on the current link set, the arena runs with
-``strict_congest`` *and* ``strict_links`` both on: a congestion violation
-or an illegal send raises at the offending round.  Requests are conserved
-by construction — ``delivered + failed == injected`` holds per wave, with
-zero message drops.
+Two extensions lift the original safety rails:
+
+* **Recovery** — a wave may open with :class:`~repro.workloads.scenarios.RecoveryEvent`
+  entries: the engine's re-entry ban is lifted
+  (:meth:`~repro.simulation.Simulator.recover`) and the key rejoins *as a
+  fresh identity* through the kernel's join path
+  (:func:`~repro.workloads.scenarios.apply_recovery` — new membership
+  bits, :func:`~repro.distributed.routing_protocol.rejoin_crash_links`
+  rewiring), gets a fresh router process and serves the wave's traffic
+  like any survivor.  Every router forgets the key from its dark set —
+  the identity that crashed is gone; the one that rejoined is live.
+* **Mid-wave crashes** — a :class:`~repro.workloads.scenarios.CrashEvent`
+  flagged ``mid_wave`` fires *between request injections* while earlier
+  requests are still in flight.  Messages en route to (or queued through)
+  the victim become counted engine drops; because every request carries a
+  request id recorded in a shared
+  :class:`~repro.distributed.routing_protocol.RouteLedger`, a rid with no
+  terminal outcome after quiescence is exactly such an in-flight
+  casualty.  The arena retries those after the repair wave (bounded by
+  ``max_retries``, ``retry_backoff`` rounds apart) and only counts a
+  request failed when its destination is genuinely gone.
+
+Flow control gates every send on the current link set, so the arena runs
+with ``strict_congest`` *and* ``strict_links`` both on even under mid-wave
+crashes: a congestion violation or an illegal send raises at the offending
+round.  Requests are conserved by construction —
+``delivered + failed + retried-then-delivered == injected`` holds per
+wave, and message drops appear only in waves that crash mid-flight.
 
 ``benchmarks/bench_e16_failures.py`` runs this arena at 4096 nodes and
-publishes the delivered/failed/repair-cost accounting as a schema-v4
+publishes the delivered/failed/repair-cost accounting as a schema-v7
 artifact.
 """
 
@@ -51,25 +73,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.distributed.routing_protocol import (
     NeighborTable,
+    RouteLedger,
     install_routing,
+    make_router,
     skip_graph_network,
 )
 from repro.simulation import Simulator, SimulatorConfig
+from repro.simulation.rng import make_rng
 from repro.skipgraph.build import build_balanced_skip_graph
 from repro.skipgraph.integrity import verify_skip_graph_integrity
 from repro.skipgraph.node import Key
 from repro.skipgraph.skipgraph import SkipGraph
 from repro.workloads.scenarios import (
     CrashEvent,
+    RecoveryEvent,
     RequestEvent,
     Scenario,
     apply_crash,
+    apply_recovery,
     repair_crashes,
 )
 
 __all__ = [
     "FailureArenaReport",
     "FailureWaveReport",
+    "Wave",
     "run_failure_arena",
     "segment_waves",
 ]
@@ -77,7 +105,15 @@ __all__ = [
 
 @dataclass
 class FailureWaveReport:
-    """One crash burst + dark-window batch + repair + sweep."""
+    """One rejoin + crash burst + dark-window batch + repair + sweep.
+
+    ``crashes`` counts every victim of the wave (boundary *and* mid-wave;
+    ``mid_wave_crashes`` is the mid-flight subset).  ``delivered`` counts
+    first-attempt deliveries only; a request lost in flight to a mid-wave
+    crash and delivered on a later attempt shows up in
+    ``retried_delivered`` (``retried`` counts the re-injections), so
+    ``failed`` stays exactly the stale-destination requests.
+    """
 
     index: int
     crashes: int
@@ -89,12 +125,17 @@ class FailureWaveReport:
     repair_links: int
     tables_refreshed: int
     rounds: int
+    recoveries: int = 0
+    mid_wave_crashes: int = 0
+    rejoin_links: int = 0
+    retried: int = 0
+    retried_delivered: int = 0
     integrity_violations: List[str] = field(default_factory=list)
 
     @property
     def conserved(self) -> bool:
-        """Every injected request was either delivered or counted failed."""
-        return self.delivered + self.failed == self.requests
+        """Every injected request reached exactly one terminal outcome."""
+        return self.delivered + self.failed + self.retried_delivered == self.requests
 
 
 @dataclass
@@ -141,6 +182,26 @@ class FailureArenaReport:
         return sum(wave.tables_refreshed for wave in self.waves)
 
     @property
+    def recoveries(self) -> int:
+        return sum(wave.recoveries for wave in self.waves)
+
+    @property
+    def mid_wave_crashes(self) -> int:
+        return sum(wave.mid_wave_crashes for wave in self.waves)
+
+    @property
+    def rejoin_links(self) -> int:
+        return sum(wave.rejoin_links for wave in self.waves)
+
+    @property
+    def retried(self) -> int:
+        return sum(wave.retried for wave in self.waves)
+
+    @property
+    def retried_delivered(self) -> int:
+        return sum(wave.retried_delivered for wave in self.waves)
+
+    @property
     def conserved(self) -> bool:
         return all(wave.conserved for wave in self.waves)
 
@@ -149,33 +210,71 @@ class FailureArenaReport:
         return all(not wave.integrity_violations for wave in self.waves)
 
 
-def segment_waves(scenario: Scenario) -> List[Tuple[List[Key], List[Tuple[Key, Key]]]]:
-    """Split a failure schedule into ``(crash keys, requests)`` waves.
+@dataclass
+class Wave:
+    """One segmented wave of a failure schedule.
 
-    A wave is a maximal run of :class:`~repro.workloads.scenarios.CrashEvent`
-    followed by a maximal run of :class:`~repro.workloads.scenarios.RequestEvent`
-    (either part may be empty: a schedule that opens with traffic yields a
-    crash-free baseline wave, and a trailing burst yields a request-free
-    one).  Join/leave events are rejected — graceful churn belongs to the
-    other arenas.
+    ``recoveries`` rejoin first, then ``crashes`` land at the quiescent
+    boundary, then ``requests`` are injected; ``mid_wave`` entries
+    ``(offset, key)`` crash ``key`` after the first ``offset`` requests
+    have been injected — while they may still be in flight.
     """
-    waves: List[Tuple[List[Key], List[Tuple[Key, Key]]]] = []
-    crashes: List[Key] = []
-    requests: List[Tuple[Key, Key]] = []
+
+    recoveries: List[Key] = field(default_factory=list)
+    crashes: List[Key] = field(default_factory=list)
+    requests: List[Tuple[Key, Key]] = field(default_factory=list)
+    mid_wave: List[Tuple[int, Key]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.recoveries or self.crashes or self.requests or self.mid_wave)
+
+    @property
+    def crash_keys(self) -> List[Key]:
+        """Every victim the wave's repair must excise (boundary + mid)."""
+        return self.crashes + [key for _, key in self.mid_wave]
+
+
+def segment_waves(scenario: Scenario) -> List[Wave]:
+    """Split a failure schedule into :class:`Wave` segments.
+
+    A wave is a maximal run of :class:`~repro.workloads.scenarios.RecoveryEvent`,
+    then :class:`~repro.workloads.scenarios.CrashEvent`, then
+    :class:`~repro.workloads.scenarios.RequestEvent` (any part may be
+    empty: a schedule that opens with traffic yields a crash-free baseline
+    wave, a trailing burst a request-free one).  A crash flagged
+    ``mid_wave`` that arrives after the wave's requests started does *not*
+    close the wave — it is recorded as an in-flight ``(offset, key)``
+    entry; one without preceding requests degrades to a boundary crash.  A
+    recovery always closes a non-empty wave (the arena repairs every open
+    hole before a key rejoins).  Join/leave events are rejected — graceful
+    churn belongs to the other arenas.
+    """
+    waves: List[Wave] = []
+    current = Wave()
     for event in scenario.events:
-        if isinstance(event, CrashEvent):
-            if requests:
-                waves.append((crashes, requests))
-                crashes, requests = [], []
-            crashes.append(event.key)
+        if isinstance(event, RecoveryEvent):
+            if current.crashes or current.requests or current.mid_wave:
+                waves.append(current)
+                current = Wave()
+            current.recoveries.append(event.key)
+        elif isinstance(event, CrashEvent):
+            if event.mid_wave and current.requests:
+                current.mid_wave.append((len(current.requests), event.key))
+            else:
+                if current.requests:
+                    waves.append(current)
+                    current = Wave()
+                current.crashes.append(event.key)
         elif isinstance(event, RequestEvent):
-            requests.append((event.source, event.destination))
+            current.requests.append((event.source, event.destination))
         else:
             raise ValueError(
-                f"failure arena schedules contain only crashes and requests, got {event!r}"
+                f"failure arena schedules contain only crashes, recoveries and requests, "
+                f"got {event!r}"
             )
-    if crashes or requests:
-        waves.append((crashes, requests))
+    if not current.empty:
+        waves.append(current)
     return waves
 
 
@@ -186,6 +285,8 @@ def run_failure_arena(
     stagger: int = 32,
     graph: Optional[SkipGraph] = None,
     max_rounds: int = 1_000_000,
+    max_retries: int = 2,
+    retry_backoff: int = 4,
 ) -> FailureArenaReport:
     """Execute a failure schedule wave by wave on a fresh CONGEST engine.
 
@@ -196,6 +297,13 @@ def run_failure_arena(
     keys.  Both strict modes are on: the arena proves its claims by
     *raising* on a congestion violation or an illegal send, not by
     counting them after the fact.
+
+    A request lost in flight to a mid-wave crash (rid with no terminal
+    outcome after quiescence) is re-injected after the repair wave — up to
+    ``max_retries`` passes, ``retry_backoff`` rounds before each — and
+    counted ``retried_delivered`` on success; only requests whose
+    destination is genuinely gone end up ``failed``.  ``max_retries=0``
+    counts every in-flight loss failed outright.
     """
     if graph is None:
         graph = build_balanced_skip_graph(scenario.initial_keys)
@@ -204,46 +312,108 @@ def run_failure_arena(
         network,
         SimulatorConfig(seed=seed, strict_congest=True, strict_links=True, max_rounds=max_rounds),
     )
-    routers = install_routing(sim, graph, k=k)
+    ledger = RouteLedger()
+    routers = install_routing(sim, graph, k=k, ledger=ledger)
     sim.run()  # start the (idle) population so waves begin from quiescence
-
-    def delivered_total() -> int:
-        # Crashed routers stay in our dict with frozen counters, so the
-        # per-wave delta never loses a completion to a later crash.
-        return sum(router.completed for router in routers.values())
+    # Recovered identities draw fresh membership bits from a dedicated
+    # arena-owned stream, so same-seed arenas rejoin bit-for-bit alike.
+    recovery_rng = make_rng(seed)
+    next_rid = 0
+    retired_route_arounds = 0
 
     def route_around_total() -> int:
-        return sum(router.route_arounds for router in routers.values())
+        # Crashed routers stay in the dict with frozen counters; routers a
+        # recovery replaced moved their count into the retired accumulator.
+        return retired_route_arounds + sum(router.route_arounds for router in routers.values())
 
     waves: List[FailureWaveReport] = []
-    for index, (crash_keys, requests) in enumerate(segment_waves(scenario)):
-        base_delivered = delivered_total()
-        base_failed = sim.metrics.failed_requests
+    for index, wave in enumerate(segment_waves(scenario)):
         base_route_arounds = route_around_total()
         base_drops = sim.metrics.dropped_messages
         base_round = sim.round
 
-        for key in crash_keys:
+        rejoin_links = 0
+        tables_refreshed = 0
+        for key in wave.recoveries:
+            affected, added = apply_recovery(sim, graph, key, recovery_rng, k=k)
+            rejoin_links += added
+            old = routers.pop(key, None)
+            if old is not None:
+                retired_route_arounds += old.route_arounds
+            router = make_router(graph, key, k=k, ledger=ledger)
+            routers[key] = router
+            sim.add_process(router)
+            for neighbor in affected:
+                peer = routers.get(neighbor)
+                if peer is None or neighbor in sim.crashed:
+                    continue
+                peer.table = NeighborTable(graph, neighbor, k=k)
+                tables_refreshed += 1
+            # The identity that crashed is gone for good; the fresh one is
+            # live everywhere, not just where links changed.
+            for peer in routers.values():
+                peer.dark.discard(key)
+
+        for key in wave.crashes:
             apply_crash(sim, graph, key)
 
-        injected = 0
-        for offset in range(0, len(requests), max(1, stagger)):
-            batch = requests[offset : offset + max(1, stagger)]
-            target_round = sim.round + offset // max(1, stagger)
+        # Cursor-based injection: each flushed batch (and each mid-wave
+        # crash) occupies one scheduling round, so a mid crash fires while
+        # the earlier batches' messages are still in flight.
+        mid_by_offset: Dict[int, List[Key]] = {}
+        for offset, key in wave.mid_wave:
+            mid_by_offset.setdefault(offset, []).append(key)
+        cursor = sim.round
+        injected: Dict[int, Tuple[Key, Key]] = {}
+        batch: List[Tuple[Key, Key, int]] = []
 
-            def inject(s: Simulator, batch=batch) -> None:
-                for source, destination in batch:
+        def flush_batch() -> None:
+            nonlocal cursor
+            if not batch:
+                return
+            entries = list(batch)
+            batch.clear()
+
+            def inject(s: Simulator, entries=entries) -> None:
+                for source, destination, rid in entries:
                     router = routers[source]
-                    router.requests.append(destination)
+                    router.requests.append((destination, rid))
                     router.done = False
 
-            sim.schedule(target_round, inject)
-            injected += len(batch)
-        if injected:
+            sim.schedule(cursor, inject)
+            cursor += 1
+
+        def schedule_mid_crash(key: Key) -> None:
+            nonlocal cursor
+            flush_batch()
+
+            def crash_callback(s: Simulator, key=key) -> None:
+                apply_crash(s, graph, key)
+
+            sim.schedule(cursor, crash_callback)
+            cursor += 1
+
+        for position, (source, destination) in enumerate(wave.requests):
+            for key in mid_by_offset.pop(position, ()):
+                schedule_mid_crash(key)
+            rid = next_rid
+            next_rid += 1
+            injected[rid] = (source, destination)
+            batch.append((source, destination, rid))
+            if len(batch) >= max(1, stagger):
+                flush_batch()
+        for offset in sorted(mid_by_offset):
+            for key in mid_by_offset[offset]:
+                schedule_mid_crash(key)
+        flush_batch()
+        if injected or wave.mid_wave:
             sim.run()
 
+        injected_rids = set(injected)
+        first_pass_delivered = len(injected_rids & ledger.delivered)
+
         repair_links = 0
-        tables_refreshed = 0
+        crash_keys = wave.crash_keys
         if crash_keys:
             affected, repair_links = repair_crashes(sim, graph, crash_keys, k=k)
             for key in affected:
@@ -254,19 +424,56 @@ def run_failure_arena(
                 router.dark.difference_update(crash_keys)
                 tables_refreshed += 1
 
+        # Bounded retry with backoff: rids with no terminal outcome were
+        # lost in flight to a mid-wave crash; re-inject them over the
+        # repaired overlay.  Whatever survives every pass is failed.
+        retried = 0
+        lost = ledger.unresolved(injected_rids)
+        first_pass_lost = set(lost)
+        for _ in range(max_retries):
+            if not lost:
+                break
+            resend: List[Tuple[Key, Key, int]] = []
+            for rid in sorted(lost):
+                source, destination = injected[rid]
+                if source in sim.crashed:
+                    ledger.failed.add(rid)
+                    continue
+                resend.append((source, destination, rid))
+            if not resend:
+                break
+            retried += len(resend)
+
+            def reinject(s: Simulator, entries=tuple(resend)) -> None:
+                for source, destination, rid in entries:
+                    router = routers[source]
+                    router.requests.append((destination, rid))
+                    router.done = False
+
+            sim.schedule(sim.round + max(0, retry_backoff), reinject)
+            sim.run()
+            lost = ledger.unresolved(injected_rids)
+        ledger.failed.update(lost)
+        retried_delivered = len(first_pass_lost & ledger.delivered)
+
         violations = verify_skip_graph_integrity(graph, sim.network, redundancy=k)
         waves.append(
             FailureWaveReport(
                 index=index,
                 crashes=len(crash_keys),
-                requests=injected,
-                delivered=delivered_total() - base_delivered,
-                failed=sim.metrics.failed_requests - base_failed,
+                requests=len(injected),
+                delivered=first_pass_delivered,
+                failed=len(injected_rids & ledger.failed),
                 route_arounds=route_around_total() - base_route_arounds,
                 dropped_messages=sim.metrics.dropped_messages - base_drops,
                 repair_links=repair_links,
                 tables_refreshed=tables_refreshed,
                 rounds=sim.round - base_round,
+                recoveries=len(wave.recoveries),
+                mid_wave_crashes=len(wave.mid_wave),
+                rejoin_links=rejoin_links,
+                retried=retried,
+                retried_delivered=retried_delivered,
                 integrity_violations=violations,
             )
         )

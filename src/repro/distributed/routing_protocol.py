@@ -38,8 +38,8 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.local_ops import (
     DemoteOp,
@@ -58,12 +58,14 @@ from repro.skipgraph.skipgraph import SkipGraph
 
 __all__ = [
     "NeighborTable",
+    "RouteLedger",
     "RoutingProtocolResult",
     "apply_network_delta",
     "install_routing",
     "make_router",
     "networks_equal",
     "patch_network",
+    "rejoin_crash_links",
     "repair_crash_links",
     "run_routing_protocol",
     "skip_graph_network",
@@ -173,17 +175,56 @@ class NeighborTable:
         return None, -1
 
 
+@dataclass
+class RouteLedger:
+    """Driver-shared conservation ledger keyed by request id (``rid``).
+
+    The failure arena's per-wave conservation claim is
+    ``delivered + failed (+ retried-then-delivered) == injected``.  With
+    crashes landing only at quiescent wave boundaries, per-router counters
+    suffice — every injected request ends in exactly one counter.  A crash
+    that lands *mid-wave* breaks that: a route message in flight towards
+    (or through) the victim becomes a counted engine drop, and no router
+    counter moves.  Tagging each injected request with a unique ``rid`` and
+    recording terminal outcomes here makes the loss *identifiable*: a rid
+    in neither set after quiescence is exactly an in-flight casualty, which
+    the arena retries after the repair wave (bounded, with backoff) and
+    only then counts failed.  The ledger is driver state, not node state —
+    it costs the routers nothing against the O(k log n) memory model.
+    """
+
+    delivered: Set[int] = field(default_factory=set)
+    failed: Set[int] = field(default_factory=set)
+
+    def unresolved(self, injected: Set[int]) -> Set[int]:
+        """Rids of ``injected`` with no terminal outcome (lost in flight)."""
+        return injected - self.delivered - self.failed
+
+
 class _RouterProcess(NodeProcess):
     """Forwards ``route`` messages one greedy hop per round.
 
     Passive (``done``) unless it has requests left to initiate or queued
     outgoing messages; woken by message delivery otherwise.
+
+    Requests may be bare destinations or ``(destination, rid)`` pairs; a
+    rid rides the payload (one extra word) and terminal outcomes —
+    completion at the destination, stranding at a hole's edge — are
+    recorded in the driver-shared ``ledger`` so the failure arena can tell
+    an in-flight loss from a delivered or cleanly failed request.
     """
 
-    def __init__(self, key: Key, table: NeighborTable, requests: Sequence[Key] = ()) -> None:
+    def __init__(
+        self,
+        key: Key,
+        table: NeighborTable,
+        requests: Sequence[Union[Key, Tuple[Key, int]]] = (),
+        ledger: Optional[RouteLedger] = None,
+    ) -> None:
         super().__init__(key)
         self.table = table
-        self.requests: Deque[Key] = deque(requests)
+        self.requests: Deque[Union[Key, Tuple[Key, int]]] = deque(requests)
+        self.ledger = ledger
         #: Per-link flow control: (receiver, payload) pairs awaiting a free round.
         self.outgoing: Deque[Tuple[Key, dict]] = deque()
         #: Routes that terminated at this node (it was their destination).
@@ -220,35 +261,50 @@ class _RouterProcess(NodeProcess):
             if self.node_id == destination:
                 self.completed += 1
                 self.result = "reached"
+                self._record_delivered(message.payload.get("rid"))
             else:
-                self._forward(destination, message.payload["level"])
+                self._forward(destination, message.payload["level"], rid=message.payload.get("rid"))
         self._act(ctx)
 
     # One initiation per round plus at most one send per neighbour link.
     def _act(self, ctx: RoundContext) -> None:
         if self.requests:
-            destination = self.requests.popleft()
+            item = self.requests.popleft()
+            destination, rid = item if isinstance(item, tuple) else (item, None)
             if destination == self.node_id:
                 self.completed += 1
                 self.result = [self.node_id]
+                self._record_delivered(rid)
             else:
-                self._forward(destination, self.table.top_level)
+                self._forward(destination, self.table.top_level, rid=rid)
         self._flush(ctx)
         if self._unreported_failures:
             ctx.report_failure(self._unreported_failures)
             self._unreported_failures = 0
         self.done = not (self.requests or self.outgoing)
 
-    def _forward(self, destination: Key, level: int) -> None:
+    def _forward(self, destination: Key, level: int, rid: Optional[int] = None) -> None:
         next_hop, used_level = self.table.next_hop(destination, level, dark=self.dark)
         if next_hop is None:
             self.result = "stuck"
             self.failed += 1
             self._unreported_failures += 1
+            self._record_failed(rid)
             return
-        self.outgoing.append((next_hop, {"destination": destination, "level": used_level}))
+        payload = {"destination": destination, "level": used_level}
+        if rid is not None:
+            payload["rid"] = rid
+        self.outgoing.append((next_hop, payload))
         self.forwards[destination] = (next_hop, used_level)
         self.result = ("forwarded", next_hop, used_level)
+
+    def _record_delivered(self, rid: Optional[int]) -> None:
+        if rid is not None and self.ledger is not None:
+            self.ledger.delivered.add(rid)
+
+    def _record_failed(self, rid: Optional[int]) -> None:
+        if rid is not None and self.ledger is not None:
+            self.ledger.failed.add(rid)
 
     def _flush(self, ctx: RoundContext) -> None:
         """One send per live neighbour; dark hops are re-routed on the spot.
@@ -270,7 +326,7 @@ class _RouterProcess(NodeProcess):
             if receiver not in live:
                 self.dark.add(receiver)
                 self.route_arounds += 1
-                self._forward(payload["destination"], payload["level"])
+                self._forward(payload["destination"], payload["level"], rid=payload.get("rid"))
                 # The re-routed hop (if any) must face the same liveness
                 # check, so fold it back into this drain.
                 pending.extend(self.outgoing)
@@ -367,6 +423,52 @@ def repair_crash_links(network: Network, graph: SkipGraph, key: Key, k: int = 1)
                 if label not in network.labels(left, right):
                     network.add_link(left, right, label=label)
                     links_added += 1
+    return affected, links_added
+
+
+def rejoin_crash_links(
+    network: Network, graph: SkipGraph, key: Key, bits: Sequence[int], k: int = 1
+) -> Tuple[Set[Key], int]:
+    """Splice recovered ``key`` back in as a *fresh identity* under redundancy ``k``.
+
+    The inverse of :func:`repair_crash_links`: ``graph`` is the repaired
+    topology mirror (the crash's hole already closed up), and the recovered
+    key rejoins through the kernel's
+    :class:`~repro.core.local_ops.NodeJoinOp` path with *new* membership
+    ``bits`` — a fresh identity, never a resurrection of the old tables.
+    Every level list the bits reach is re-opened around the key so that
+    ``network == skip_graph_network(graph, k)`` holds again: the key links
+    to its ``k`` nearest list members per side per level, and a survivor
+    pair whose in-list distance grew past ``k`` when the key landed between
+    them loses that level's label.  Insertion can only grow survivor
+    distances, so no survivor-to-survivor link ever needs *adding*.
+
+    Returns ``(affected survivor keys, links added)`` — the keys whose
+    :class:`NeighborTable` must be refreshed, and the rejoin cost the
+    failure arena charges for the wave.
+    """
+    apply_op(graph, NodeJoinOp(key, tuple(bits)))
+    network.add_node(key)
+    affected: Set[Key] = set()
+    links_added = 0
+    for level in range(0, len(bits) + 1):
+        members = graph.list_at(level, tuple(bits[:level]))
+        index = bisect_left(members, key)
+        lefts = members[max(0, index - k) : index][::-1]
+        rights = members[index + 1 : index + 1 + k]
+        label = f"level{level}"
+        for neighbor in lefts + rights:
+            affected.add(neighbor)
+            if label not in network.labels(key, neighbor):
+                network.add_link(key, neighbor, label=label)
+                links_added += 1
+        for i, left in enumerate(lefts):
+            for j, right in enumerate(rights):
+                # The pair sat i + j + 1 apart before the key landed between
+                # them (so it held the label) and sits i + j + 2 apart now;
+                # retract exactly when the distance crossed the k threshold.
+                if i + j + 1 <= k and i + j + 2 > k:
+                    network.remove_link(left, right, label=label)
     return affected, links_added
 
 
@@ -495,34 +597,44 @@ def networks_equal(network: Network, other: Network) -> bool:
 def install_routing(
     simulator: Simulator,
     graph: SkipGraph,
-    requests: Mapping[Key, Sequence[Key]] | None = None,
+    requests: Mapping[Key, Sequence[Union[Key, Tuple[Key, int]]]] | None = None,
     k: int = 1,
+    ledger: Optional[RouteLedger] = None,
 ) -> Dict[Key, _RouterProcess]:
     """Register a router process per skip graph node on ``simulator``.
 
     ``requests`` maps source keys to the destinations they initiate (one
-    per round, in order).  The simulator's network must already contain the
-    skip-graph links (:func:`skip_graph_network`, built with the same
-    ``k``); on a reused engine, retire the previous generation first
-    (``simulator.retire_all()``).
+    per round, in order); entries may be ``(destination, rid)`` pairs when
+    a shared ``ledger`` tracks terminal outcomes.  The simulator's network
+    must already contain the skip-graph links (:func:`skip_graph_network`,
+    built with the same ``k``); on a reused engine, retire the previous
+    generation first (``simulator.retire_all()``).
     """
     requests = requests or {}
     processes: Dict[Key, _RouterProcess] = {}
     for key in graph.keys:
-        process = _RouterProcess(key, NeighborTable(graph, key, k=k), requests.get(key, ()))
+        process = _RouterProcess(
+            key, NeighborTable(graph, key, k=k), requests.get(key, ()), ledger=ledger
+        )
         processes[key] = process
         simulator.add_process(process)
     return processes
 
 
-def make_router(graph: SkipGraph, key: Key, requests: Sequence[Key] = (), k: int = 1) -> _RouterProcess:
+def make_router(
+    graph: SkipGraph,
+    key: Key,
+    requests: Sequence[Union[Key, Tuple[Key, int]]] = (),
+    k: int = 1,
+    ledger: Optional[RouteLedger] = None,
+) -> _RouterProcess:
     """A router process for ``key`` with a fresh table snapshot of ``graph``.
 
     The process factory churn arenas hand to
     :func:`~repro.workloads.scenarios.replay_scenario` so joining nodes can
     route as soon as their initialization round has run.
     """
-    return _RouterProcess(key, NeighborTable(graph, key, k=k), requests)
+    return _RouterProcess(key, NeighborTable(graph, key, k=k), requests, ledger=ledger)
 
 
 def trace_route(processes: Mapping[Key, _RouterProcess], source: Key, destination: Key) -> List[Key]:

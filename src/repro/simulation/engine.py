@@ -49,6 +49,10 @@ Process lifecycle (churn):
   callback, and the node is banned from re-entering (``add_process``
   rejects it).  A crash is distinguishable from a leave precisely by the
   missing goodbye.
+* **recover** — :meth:`Simulator.recover` lifts the re-entry ban so a
+  crashed node may rejoin as a *fresh identity* through the normal join
+  path (new membership bits, new process, new links); nothing of the
+  pre-crash state is restored by the engine itself.
 
 Churn and other externally driven events are injected with
 :meth:`Simulator.schedule`: a callback registered for round ``r`` runs at
@@ -218,8 +222,9 @@ class Simulator:
         links are removed with the node; messages in flight towards it are
         dropped and counted (``dropped_messages``) at the next delivery
         plan, exactly like churn-induced losses — a crash is never a
-        :class:`LinkError`.  The process's ``result`` stays readable, but
-        :meth:`add_process` permanently rejects the node.
+        :class:`LinkError`.  The process's ``result`` stays readable, and
+        :meth:`add_process` rejects the node until :meth:`recover` lifts
+        the ban.
         """
         if node in self._crashed:
             raise SimulationError(f"node {node!r} already crashed")
@@ -230,6 +235,23 @@ class Simulator:
         if self.network.has_node(node):
             self.network.remove_node(node)
         return process
+
+    def recover(self, node: Hashable) -> None:
+        """Lift the re-entry ban of crashed ``node``: it may rejoin *fresh*.
+
+        Recovery is deliberately minimal — it only removes ``node`` from the
+        crashed set, so the next :meth:`add_process` for it is accepted
+        again.  Nothing of the pre-crash identity survives: the node is not
+        re-added to the network (the caller rewires it through its normal
+        join path, e.g. a ``NodeJoinOp`` with freshly drawn membership
+        bits), its old process result stays in :meth:`results` only until a
+        new process is registered, and a recovered node may later crash
+        again.  Recovering a node that is not crashed raises — a recovery
+        without a preceding crash is a driver bug, not a no-op.
+        """
+        if node not in self._crashed:
+            raise SimulationError(f"node {node!r} is not crashed; nothing to recover")
+        self._crashed.discard(node)
 
     def retire_all(self) -> None:
         """Retire every live process (protocol teardown on a reused engine)."""
@@ -268,7 +290,7 @@ class Simulator:
 
     @property
     def crashed(self) -> "frozenset":
-        """Nodes killed by :meth:`crash`; permanently banned from re-entry."""
+        """Nodes killed by :meth:`crash`; banned from re-entry until :meth:`recover`."""
         return frozenset(self._crashed)
 
     @property

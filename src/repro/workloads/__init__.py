@@ -51,6 +51,7 @@ from repro.workloads.scenarios import (
     CrashEvent,
     JoinEvent,
     LeaveEvent,
+    RecoveryEvent,
     RequestEvent,
     Scenario,
     ScenarioReplay,
@@ -58,6 +59,7 @@ from repro.workloads.scenarios import (
     apply_crash,
     apply_join,
     apply_leave,
+    apply_recovery,
     churn_scenario,
     failure_scenario,
     repair_crashes,
@@ -79,6 +81,7 @@ __all__ = [
     "CrashEvent",
     "JoinEvent",
     "LeaveEvent",
+    "RecoveryEvent",
     "RequestEvent",
     "Scenario",
     "ScenarioReplay",
@@ -88,6 +91,7 @@ __all__ = [
     "apply_crash",
     "apply_join",
     "apply_leave",
+    "apply_recovery",
     "churn_scenario",
     "failure_scenario",
     "repair_crashes",

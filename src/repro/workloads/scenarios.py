@@ -10,7 +10,14 @@ over a fixed node population.  A :class:`Scenario` generalises it to an
 * :class:`CrashEvent` — a peer fails crash-stop: no goodbye, links dark,
   repaired only by the survivors (:func:`failure_scenario` generates
   these; the semantic difference from a leave exists only at the
-  message-passing layer, where the dark window is observable),
+  message-passing layer, where the dark window is observable).  A crash
+  may be flagged ``mid_wave``: it lands while the current wave's requests
+  are still in flight instead of at a quiescent wave boundary,
+* :class:`RecoveryEvent` — a previously crashed peer comes back.  Recovery
+  is *rejoin as a fresh identity*: the engine's re-entry ban is lifted and
+  the key re-enters through the kernel's join path with newly drawn
+  membership bits — never a resurrection of its old tables (which the
+  survivors' repair wave already excised),
 
 which is what production overlays actually look like: traffic interleaved
 with membership churn.  Because joins and leaves change the population the
@@ -49,6 +56,7 @@ processes), so the same 4096-node churn schedules that drive
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -70,6 +78,7 @@ __all__ = [
     "CrashEvent",
     "JoinEvent",
     "LeaveEvent",
+    "RecoveryEvent",
     "RequestEvent",
     "Scenario",
     "ScenarioReplay",
@@ -78,6 +87,7 @@ __all__ = [
     "apply_join",
     "apply_leave",
     "apply_local_op",
+    "apply_recovery",
     "churn_scenario",
     "failure_scenario",
     "repair_crashes",
@@ -115,12 +125,26 @@ class LeaveEvent:
 
 @dataclass(frozen=True)
 class CrashEvent:
-    """The peer with ``key`` fails crash-stop (no goodbye, links go dark)."""
+    """The peer with ``key`` fails crash-stop (no goodbye, links go dark).
+
+    ``mid_wave`` marks a crash generated to land while the current wave's
+    requests are still in flight (the failure arena fires it between
+    request injections instead of at the quiescent wave boundary); the
+    default ``False`` keeps every pre-existing schedule's semantics.
+    """
+
+    key: Key
+    mid_wave: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """The previously crashed peer with ``key`` rejoins as a fresh identity."""
 
     key: Key
 
 
-Event = Union[RequestEvent, JoinEvent, LeaveEvent, CrashEvent]
+Event = Union[RequestEvent, JoinEvent, LeaveEvent, CrashEvent, RecoveryEvent]
 
 
 @dataclass
@@ -147,6 +171,10 @@ class Scenario:
     @property
     def crash_count(self) -> int:
         return sum(1 for event in self.events if isinstance(event, CrashEvent))
+
+    @property
+    def recovery_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, RecoveryEvent))
 
 
 @dataclass
@@ -180,6 +208,7 @@ class ScenarioReport:
     costs: Optional[List[int]] = None
     algorithm: str = "dsg"
     crashes: int = 0
+    recoveries: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -223,7 +252,7 @@ def run_scenario(
     # delta is exactly this scenario's contribution — keeping every report
     # field scoped to the scenario even when the adapter is reused.
     base_ws = algorithm.working_set_bound()
-    joins = leaves = crashes = batches = 0
+    joins = leaves = crashes = recoveries = batches = 0
     max_height = algorithm.height()
     costs: Optional[List[int]] = [] if keep_costs else None
     pending: List[Request] = []
@@ -255,6 +284,12 @@ def run_scenario(
             flush()
             algorithm.leave(event.key)
             crashes += 1
+        elif isinstance(event, RecoveryEvent):
+            # Rejoin as a fresh identity: the crash already removed the key
+            # (above), so recovery is exactly a join with new bits.
+            flush()
+            algorithm.join(event.key)
+            recoveries += 1
         else:
             flush()
             algorithm.leave(event.key)
@@ -287,6 +322,7 @@ def run_scenario(
         costs=costs,
         algorithm=algorithm.name,
         crashes=crashes,
+        recoveries=recoveries,
     )
 
 
@@ -398,6 +434,30 @@ def apply_crash(sim: Simulator, graph: SkipGraph, key: Key) -> None:
     sim.crash(key)
 
 
+def apply_recovery(sim: Simulator, graph: SkipGraph, key: Key, rng, k: int = 1) -> Tuple[set, int]:
+    """Recover crashed ``key`` as a *fresh identity* and splice it back in.
+
+    Lifts the engine's re-entry ban (:meth:`~repro.simulation.Simulator.recover`),
+    draws *new* membership bits with the classical join rule
+    (:func:`~repro.skipgraph.build.draw_membership_bits` — the same stream
+    discipline :func:`apply_join` uses; the old identity's bits are gone
+    with its tables) and rewires graph + network through
+    :func:`~repro.distributed.routing_protocol.rejoin_crash_links`.
+
+    The crash's hole must already be closed — run :func:`repair_crashes`
+    for the key before recovering it; a recovery is a join, and joining a
+    graph that still contains the key is a kernel error.  Returns
+    ``(affected survivor keys, links added)`` — survivors whose routing
+    tables must be refreshed, and the rejoin cost.
+    """
+    # Lazy for the same circularity reason as apply_local_op.
+    from repro.distributed.routing_protocol import rejoin_crash_links
+
+    sim.recover(key)
+    bits = draw_membership_bits(graph, key, rng)
+    return rejoin_crash_links(sim.network, graph, key, tuple(bits), k=k)
+
+
 def repair_crashes(
     sim: Simulator,
     graph: SkipGraph,
@@ -440,6 +500,7 @@ class ScenarioReplay:
     first_round: int
     last_round: int
     crashes: int = 0
+    recoveries: int = 0
 
 
 def replay_scenario(
@@ -469,6 +530,10 @@ def replay_scenario(
     * :class:`CrashEvent` — :func:`apply_crash` kills the process crash-stop
       (no rewiring: the dark window lasts until the caller runs
       :func:`repair_crashes`).
+    * :class:`RecoveryEvent` — :func:`apply_recovery` rejoins the key as a
+      fresh identity (new bits from the replay's rng stream) and registers
+      its process via ``process_factory`` like a join.  The caller must
+      have repaired the key's crash before its recovery round fires.
     * :class:`RequestEvent` — handed to ``on_request(sim, event)`` when
       provided (e.g. to enqueue a routing request on the source process);
       skipped otherwise (no round consumed).
@@ -485,7 +550,7 @@ def replay_scenario(
     rng = make_rng(seed if seed is not None else scenario.params.get("seed"))
     cursor = sim.round if start_round is None else max(start_round, sim.round)
     first = cursor
-    joins = leaves = crashes = requests = 0
+    joins = leaves = crashes = recoveries = requests = 0
     scheduled_any = False
     for event in scenario.events:
         if isinstance(event, RequestEvent):
@@ -515,6 +580,17 @@ def replay_scenario(
                 apply_crash(s, graph, key)
 
             sim.schedule(cursor, crash_callback)
+        elif isinstance(event, RecoveryEvent):
+            recoveries += 1
+
+            def recovery_callback(s: Simulator, key=event.key) -> None:
+                apply_recovery(s, graph, key, rng)
+                if process_factory is not None:
+                    process = process_factory(key)
+                    if process is not None:
+                        s.add_process(process)
+
+            sim.schedule(cursor, recovery_callback)
         else:
             leaves += 1
 
@@ -532,6 +608,7 @@ def replay_scenario(
         first_round=first,
         last_round=cursor - spacing if scheduled_any else first,
         crashes=crashes,
+        recoveries=recoveries,
     )
 
 
@@ -814,6 +891,9 @@ def failure_scenario(
     flash_size: int = 8,
     stale_fraction: float = 0.05,
     adjacent_crash_limit: Optional[int] = None,
+    recovery_fraction: float = 0.0,
+    recovery_delay: Tuple[int, int] = (8, 64),
+    mid_wave_fraction: float = 0.0,
     name: Optional[str] = None,
 ) -> Scenario:
     """Traffic interleaved with crash-stop failures (no joins, no goodbyes).
@@ -855,11 +935,29 @@ def failure_scenario(
     The arena benchmark passes ``k - 1`` so its every-survivor-delivered
     gate holds by the redundancy guarantee, not by luck.
 
+    ``recovery_fraction`` gives every victim an independent chance to come
+    back: a :class:`RecoveryEvent` is scheduled ``rng.randint(*recovery_delay)``
+    slots after the crash (dropped if that falls past the schedule's end) —
+    the key rejoins as a fresh identity and re-enters the alive pool, the
+    stale-destination pool forgets it.  Once any key has recovered, request
+    slots steer their destination to a recovered key with the same
+    ``stale_fraction`` probability (mirroring the stale steering), so the
+    schedule provably routes *to* rejoined identities even when they are a
+    vanishing fraction of a large arena — those requests must be delivered,
+    which is exactly the recovered-keys-serve gate.  ``mid_wave_fraction`` makes request
+    slots fire a crash *mid-wave* with that probability (victim drawn from
+    alive peers that are not an endpoint of the current wave's requests, so
+    survivor-delivery accounting stays statically checkable); the event
+    carries ``mid_wave=True`` so the arena injects it between in-flight
+    requests instead of at the quiescent boundary.  Both default to ``0.0``,
+    which leaves the classic shapes' rng stream byte-identical — the extra
+    coins are only drawn when the feature is on.
+
     Pass ``rng`` (any :mod:`random`-compatible generator) to draw from an
     existing deterministic stream; otherwise one is built from ``seed``
     via :func:`~repro.simulation.rng.make_rng`.  Given the same stream the
-    schedule — and therefore every delivered/failed count downstream — is
-    identical.
+    schedule — recovery timing and mid-wave offsets included — and
+    therefore every delivered/failed count downstream is identical.
     """
     if mode not in ("independent", "racks", "flash"):
         raise KeyError(f"unknown failure mode {mode!r}")
@@ -885,22 +983,36 @@ def failure_scenario(
     elif mode == "flash":
         burst_slots[length // 2] = rng.sample(alive, min(flash_size, n - floor))
 
-    # Guard state: a burst is the run of crashes since the last request
-    # (exactly what one repair wave later closes up).  ``snapshot`` is the
-    # alive order at burst start, ``recent`` the victims taken so far.
+    # Guard state: a burst is the run of unrepaired crashes — everything
+    # since the last wave boundary (exactly what one repair wave later
+    # closes up; with mid-wave crashes on, the burst spans the wave's
+    # requests too, since mid victims share the boundary victims' repair).
+    # ``snapshot`` is the alive order at burst start, ``recent`` the
+    # victims taken so far.  ``requests_in_wave`` / ``wave_endpoints``
+    # track the current wave's traffic so a mid-wave victim never is (or
+    # becomes) an endpoint of a request already in flight.
     snapshot: List[Key] = []
     positions: Dict[Key, int] = {}
     recent: set = set()
     in_burst = False
+    requests_in_wave = 0
+    wave_endpoints: set = set()
+    pending_recoveries: Dict[int, List[Key]] = {}
+    recovered: List[Key] = []
 
-    def take_victim(key: Key) -> bool:
-        nonlocal in_burst
-        if not in_burst:
+    def take_victim(key: Key, slot: int, mid: bool = False) -> bool:
+        nonlocal in_burst, requests_in_wave
+        if not in_burst or (not mid and requests_in_wave):
+            # Wave boundary: the previous burst's holes are repaired before
+            # this crash lands, so the adjacency guard starts fresh.
             snapshot[:] = alive
             positions.clear()
             positions.update((member, index) for index, member in enumerate(snapshot))
             recent.clear()
             in_burst = True
+        if not mid:
+            requests_in_wave = 0
+            wave_endpoints.clear()
         if adjacent_crash_limit is not None:
             run = 1
             index = positions[key] - 1
@@ -916,30 +1028,66 @@ def failure_scenario(
         recent.add(key)
         alive.remove(key)
         crashed.append(key)
-        events.append(CrashEvent(key))
+        if key in recovered:
+            recovered.remove(key)
+        events.append(CrashEvent(key, mid_wave=mid))
+        if recovery_fraction > 0.0 and rng.random() < recovery_fraction:
+            due = slot + rng.randint(recovery_delay[0], recovery_delay[1])
+            if due < length:
+                pending_recoveries.setdefault(due, []).append(key)
         return True
 
     events: List[Event] = []
     for slot in range(length):
+        due = pending_recoveries.pop(slot, None)
+        if due:
+            for key in due:
+                events.append(RecoveryEvent(key))
+                insort(alive, key)
+                crashed.remove(key)
+                recovered.append(key)
+            # A recovery is a wave boundary: the arena repairs every open
+            # hole before the key rejoins, so the burst and wave reset.
+            in_burst = False
+            requests_in_wave = 0
+            wave_endpoints.clear()
         burst = burst_slots.get(slot)
         if burst is not None:
             for key in burst:
                 if len(alive) <= floor:
                     break
-                take_victim(key)
+                take_victim(key, slot)
             continue
         if mode == "independent" and len(alive) > floor and rng.random() < crash_rate:
-            take_victim(rng.choice(alive))
+            take_victim(rng.choice(alive), slot)
             continue
-        in_burst = False
+        if (
+            mid_wave_fraction > 0.0
+            and requests_in_wave
+            and len(alive) > floor
+            and rng.random() < mid_wave_fraction
+        ):
+            candidates = [key for key in alive if key not in wave_endpoints]
+            if candidates and take_victim(rng.choice(candidates), slot, mid=True):
+                continue
         source = rng.choice(alive)
+        destination: Optional[Key] = None
         if crashed and rng.random() < stale_fraction:
             destination = rng.choice(crashed)
-        else:
+        elif recovered and rng.random() < stale_fraction:
+            # Steer toward a rejoined identity (coin drawn only once a
+            # recovery happened, so recovery-free streams are untouched).
+            pool = [key for key in recovered if key != source]
+            if pool:
+                destination = rng.choice(pool)
+        if destination is None:
             destination = rng.choice(alive)
             while destination == source:
                 destination = rng.choice(alive)
         events.append(RequestEvent(source, destination))
+        requests_in_wave += 1
+        wave_endpoints.add(source)
+        wave_endpoints.add(destination)
 
     return Scenario(
         name=name or f"failures-{mode}",
@@ -956,5 +1104,8 @@ def failure_scenario(
             "flash_size": flash_size,
             "stale_fraction": stale_fraction,
             "adjacent_crash_limit": adjacent_crash_limit,
+            "recovery_fraction": recovery_fraction,
+            "recovery_delay": recovery_delay,
+            "mid_wave_fraction": mid_wave_fraction,
         },
     )

@@ -5,6 +5,13 @@ request sequence — with and without churn — the message-passing protocol
 reaches the **same topology** and charges the **same total cost** as the
 centralized :class:`~repro.core.dsg.DynamicSkipGraph`, with zero CONGEST
 violations and every message within the ``c * log2 n`` bit budget.
+
+PR 10 adds failure-aware adjustment: a crash *between* a plan's route
+and execute phases (``crash_dark`` fired through ``mid_request_fault``)
+must never apply a stale op — the driver repairs the hole structurally
+and either re-anchors the plan against the post-repair topology or
+abandons it with explicit accounting, and the planner-equivalence
+invariants hold again afterwards.
 """
 
 import math
@@ -13,8 +20,18 @@ import pytest
 
 from repro.core.dsg import DSGConfig, DynamicSkipGraph
 from repro.distributed import DistributedDSG, run_distributed_dsg, skip_graph_network
+from repro.simulation.engine import SimulationError
 from repro.simulation.message import congest_budget_bits
-from repro.workloads import churn_scenario, scenario_requests, workload_scenario
+from repro.skipgraph import verify_skip_graph_integrity
+from repro.workloads import (
+    CrashEvent,
+    RecoveryEvent,
+    RequestEvent,
+    Scenario,
+    churn_scenario,
+    scenario_requests,
+    workload_scenario,
+)
 
 
 def _assert_matches_centralized(driver, report):
@@ -162,3 +179,116 @@ class TestDriverLifecycle:
         assert {frozenset(e) for e in driver.sim.network.edges()} == {
             frozenset(e) for e in rebuilt.edges()
         }
+
+
+def _assert_consistent(driver):
+    assert driver.topology_matches_planner()
+    assert driver.network_matches_topology()
+    assert not verify_skip_graph_integrity(driver.topology, driver.sim.network)
+
+
+class TestFailureAwareAdjustment:
+    def _driver(self, seed=9, n=32):
+        return DistributedDSG(
+            range(1, n + 1), config=DSGConfig(seed=seed), seed=seed, strict=True
+        )
+
+    def test_crash_dark_defers_repair_to_the_next_request(self):
+        driver = self._driver()
+        driver.crash_dark(16)
+        assert driver.dark_keys == {16}
+        outcome = driver.request(3, 30)
+        assert not driver.dark_keys  # repaired at request entry
+        assert driver.crashes == 1
+        assert not driver.topology.has_node(16)
+        assert outcome.measured_distance == outcome.planned_distance
+        _assert_consistent(driver)
+
+    def test_mid_request_crash_reanchors_the_plan(self):
+        """A victim untouched by the plan's ops dies between route and
+        execute: the hole is closed structurally and the plan re-anchors
+        against the post-repair topology — no stale op is ever applied.
+        The pair is warmed first so the plan is local to it: a cold first
+        contact restructures half the arena and any victim is a stale
+        subject, which is the abandon path tested below."""
+        driver = self._driver()
+        driver.request(3, 30)
+        driver.request(3, 30)
+        driver.mid_request_fault = lambda: driver.crash_dark(16)
+        outcome = driver.request(3, 30)
+        assert driver.reanchored_plans == 1
+        assert driver.abandoned_plans == 0
+        assert outcome.ops_executed > 0  # the salvaged plan still landed
+        assert not driver.dark_keys
+        assert driver.mid_request_fault is None  # one-shot hook
+        _assert_consistent(driver)
+        # The reseated planner keeps serving equivalently.
+        follow_up = driver.request(5, 28)
+        assert follow_up.measured_distance == follow_up.planned_distance
+        report = driver.report()
+        assert report.congestion_violations == 0 and report.dropped_messages == 0
+        assert report.matches_planner
+
+    def test_mid_request_crash_of_the_source_abandons_the_plan(self):
+        driver = self._driver()
+        driver.mid_request_fault = lambda: driver.crash_dark(3)
+        outcome = driver.request(3, 30)
+        assert driver.abandoned_plans == 1
+        assert driver.reanchored_plans == 0
+        assert outcome.ops_executed == 0
+        assert outcome.transformation_rounds == 0
+        _assert_consistent(driver)
+        assert driver.report().matches_planner  # abandoned cost was refunded
+
+    def test_mid_request_crash_of_an_op_subject_abandons_the_plan(self):
+        """A first-contact plan restructures around its endpoints; killing
+        the destination makes its ops stale-subject and the plan must be
+        dropped, never applied against the repaired graph."""
+        driver = self._driver()
+        driver.mid_request_fault = lambda: driver.crash_dark(30)
+        outcome = driver.request(3, 30)
+        assert driver.abandoned_plans == 1
+        assert outcome.ops_executed == 0
+        assert not driver.topology.has_node(30)
+        _assert_consistent(driver)
+        assert driver.report().matches_planner
+
+    def test_crash_then_recover_rejoins_as_fresh_identity(self):
+        driver = self._driver()
+        before = driver.topology.membership(16).bits
+        driver.crash_dark(16)
+        driver.recover(16)
+        assert driver.recoveries == 1
+        assert driver.topology.has_node(16)
+        assert 16 in driver.processes and 16 not in driver.sim.crashed
+        _assert_consistent(driver)
+        # The fresh identity serves in both directions.
+        outcome = driver.request(16, 27)
+        assert outcome.measured_distance == outcome.planned_distance
+        back = driver.request(2, 16)
+        assert back.measured_distance == back.planned_distance
+        # Identity is fresh: bits are drawn anew, not restored (they may
+        # coincide by chance at low heights, so only document the draw).
+        assert driver.topology.membership(16).bits is not before
+
+    def test_crash_dark_rejects_unknown_keys(self):
+        driver = self._driver()
+        with pytest.raises(SimulationError):
+            driver.crash_dark(999)
+
+    def test_scenario_events_drive_crash_and_recovery(self):
+        events = [
+            RequestEvent(1, 30),
+            CrashEvent(17),
+            RequestEvent(2, 29),
+            RecoveryEvent(17),
+            RequestEvent(17, 30),
+        ]
+        scenario = Scenario(name="crash-recover", initial_keys=list(range(1, 33)), events=events)
+        driver = self._driver()
+        report = driver.run_scenario(scenario)
+        assert report.crashes == 1 and report.recoveries == 1
+        assert report.requests == 3
+        assert report.matches_planner
+        assert report.congestion_violations == 0 and report.dropped_messages == 0
+        _assert_consistent(driver)

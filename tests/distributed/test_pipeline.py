@@ -37,7 +37,14 @@ from repro.distributed import (
     skip_graph_network,
 )
 from repro.simulation.rng import make_rng
-from repro.workloads import RequestEvent, Scenario, churn_scenario, workload_scenario
+from repro.workloads import (
+    CrashEvent,
+    RecoveryEvent,
+    RequestEvent,
+    Scenario,
+    churn_scenario,
+    workload_scenario,
+)
 
 pytestmark = pytest.mark.pipeline
 
@@ -346,6 +353,61 @@ class TestAdversarialSerialization:
             # previous event has been applied (full serialization).
             assert later.admit_round >= earlier.apply_round
             assert earlier.complete_round <= earlier.apply_round
+
+
+# ------------------------------------------------- crash/pipeline interplay
+class TestCrashBarriers:
+    """Crash and recovery events are pipeline *barriers* (PR 10): the
+    in-flight window drains cleanly before the failure lands, and the run
+    stays observably equivalent to the sequential driver."""
+
+    def _crash_scenario(self, n=32):
+        events = [
+            RequestEvent(1, 30),
+            RequestEvent(2, 29),
+            RequestEvent(5, 28),
+            CrashEvent(17),
+            RequestEvent(3, 26),
+            RequestEvent(6, 25),
+            RecoveryEvent(17),
+            RequestEvent(17, 30),
+            RequestEvent(4, 17),
+        ]
+        return Scenario(
+            name="pipeline-crash", initial_keys=list(range(1, n + 1)), events=events
+        )
+
+    @pytest.mark.parametrize("window", [1, 4])
+    def test_crash_mid_schedule_matches_sequential(self, window):
+        scenario = self._crash_scenario()
+        seq_driver, seq_report = _sequential(scenario, 9, 9)
+        pipe_driver, pipe_report = _pipelined(scenario, 9, 9, window=window)
+        _assert_equivalent(seq_driver, seq_report, pipe_driver, pipe_report)
+        assert pipe_report.crashes == 1 and pipe_report.recoveries == 1
+        assert seq_report.crashes == 1 and seq_report.recoveries == 1
+        # The recovered key served as both source and destination.
+        served = {(o.source, o.destination) for o in pipe_report.outcomes}
+        assert (17, 30) in served and (4, 17) in served
+
+    def test_window_drains_before_the_crash_lands(self):
+        """No admission may straddle a barrier: everything admitted before
+        the crash is applied before it, everything after admitted after."""
+        scenario = self._crash_scenario()
+        _, report = _pipelined(scenario, 9, 9, window=4)
+        # Requests 0-2 precede the crash, 3-4 the recovery, 5-6 follow it.
+        trace = {record.index: record for record in report.admission_trace}
+        barrier_free = max(trace[i].apply_round for i in (0, 1, 2))
+        assert min(trace[i].admit_round for i in (3, 4)) >= barrier_free
+        second_barrier = max(trace[i].apply_round for i in (3, 4))
+        assert min(trace[i].admit_round for i in (5, 6)) >= second_barrier
+
+    def test_crash_dark_is_rejected_on_the_pipelined_driver(self):
+        driver = PipelinedDSG(
+            range(1, 17), config=DSGConfig(seed=2), seed=2, strict=True, window=4
+        )
+        with pytest.raises(Exception) as excinfo:
+            driver.crash_dark(8)
+        assert "barrier" in str(excinfo.value)
 
 
 # ----------------------------------------------------- determinism regression
